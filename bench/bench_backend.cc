@@ -1,0 +1,104 @@
+// E8 — the narrow debugger interface, local vs remote. The paper keeps the
+// DUEL<->debugger interface "intentionally narrow to simplify connecting it
+// to a debugger"; the same core here runs unmodified over (a) the in-process
+// SimBackend, (b) an RSP transport without framing, (c) the full $..#cs
+// packet codec, and (d) a real socketpair with the server in another thread.
+// Expected shape: identical results, with a per-target-access constant
+// overhead growing from (a) to (d).
+
+#include "bench/bench_util.h"
+#include "src/rsp/remote_backend.h"
+#include "src/rsp/server.h"
+#include "src/rsp/socket_transport.h"
+#include "src/rsp/transport.h"
+
+namespace duel::bench {
+namespace {
+
+struct Rig {
+  target::TargetImage image;
+  std::unique_ptr<dbg::SimBackend> sim;
+  std::unique_ptr<rsp::RspServer> server;
+  std::unique_ptr<rsp::Transport> transport;
+  std::unique_ptr<rsp::RemoteBackend> remote;
+  std::unique_ptr<Session> session;
+
+  explicit Rig(int mode) {
+    target::InstallStandardFunctions(image);
+    scenarios::BuildRandomIntArray(image, "x", 10000, -50, 50, 11);
+    std::vector<int32_t> values(500);
+    for (size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<int32_t>(i % 97);
+    }
+    scenarios::BuildList(image, "L", values);
+    scenarios::BuildDenseSymtab(image, 256);
+
+    sim = std::make_unique<dbg::SimBackend>(image);
+    SessionOptions opts;
+    opts.eval.sym_mode = EvalOptions::SymMode::kOff;
+    if (mode == 0) {
+      session = std::make_unique<Session>(*sim, opts);
+      return;
+    }
+    server = std::make_unique<rsp::RspServer>(*sim);
+    if (mode == 1) {
+      transport = std::make_unique<rsp::DirectTransport>(*server);
+    } else if (mode == 2) {
+      transport = std::make_unique<rsp::FramedTransport>(*server);
+    } else {
+      transport = std::make_unique<rsp::SocketTransport>(*server);
+    }
+    remote = std::make_unique<rsp::RemoteBackend>(*transport);
+    session = std::make_unique<Session>(*remote, opts);
+  }
+};
+
+const char* ModeName(int mode) {
+  switch (mode) {
+    case 0: return "sim-direct";
+    case 1: return "rsp-unframed";
+    case 2: return "rsp-framed";
+    default: return "rsp-socket";
+  }
+}
+
+void BM_BackendArrayScan(benchmark::State& state) {
+  Rig rig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    uint64_t n = rig.session->Drive("#/(x[..10000] >? 0)");
+    benchmark::DoNotOptimize(n);
+  }
+  if (rig.transport != nullptr) {
+    state.counters["round_trips_total"] = static_cast<double>(rig.transport->round_trips());
+    state.counters["wire_bytes_total"] = static_cast<double>(rig.transport->bytes_on_wire());
+  }
+  state.SetLabel(std::string("array_scan/") + ModeName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_BackendArrayScan)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BackendListWalk(benchmark::State& state) {
+  Rig rig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    uint64_t n = rig.session->Drive("+/(L-->next->value)");
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetLabel(std::string("list_walk/") + ModeName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_BackendListWalk)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BackendSymbolLookups(benchmark::State& state) {
+  // Lookup-heavy: every value resolves `i` through the backend.
+  Rig rig(static_cast<int>(state.range(0)));
+  rig.session->Query("i := 1 ;");
+  for (auto _ : state) {
+    uint64_t n = rig.session->Drive("#/((1..1000)+i)");
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetLabel(std::string("lookups/") + ModeName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_BackendSymbolLookups)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace duel::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// E5 — generator-engine ablation. The paper implements generators with an
+// explicit per-node state machine and notes that "more efficient
+// implementations of generators are possible [14]". We compare Engine A
+// (the paper's scheme) against Engine B (C++20 coroutines) across expression
+// shapes that stress different parts of the machinery.
+
+#include "bench/bench_util.h"
+
+namespace duel::bench {
+namespace {
+
+struct Shape {
+  const char* name;
+  const char* query;
+};
+
+const Shape kShapes[] = {
+    {"flat_range", "#/(1..100000)"},
+    {"nested_product", "#/((1..300)*(1..300))"},
+    {"deep_alternation", "#/(((1,2),(3,4)),((5,6),(7,8)))"},
+    {"filter_scan", "#/(x[..10000] >? 0)"},
+    {"list_walk", "#/(L-->next->value)"},
+    {"tree_walk", "#/(root-->(left,right)->key)"},
+    {"imply_chain", "#/(1..100 => 1..100)"},
+    {"with_fields", "#/(hash[..64]->(if (_ && scope > 0) name))"},
+};
+
+void SetupImage(BenchFixture& fx) {
+  scenarios::BuildRandomIntArray(fx.image(), "x", 10000, -50, 50, 7);
+  std::vector<int32_t> list_values(2000);
+  for (size_t i = 0; i < list_values.size(); ++i) {
+    list_values[i] = static_cast<int32_t>(i * 37 % 101);
+  }
+  scenarios::BuildList(fx.image(), "L", list_values);
+  // A complete binary tree of depth 12 in the paper's preorder syntax.
+  std::string tree = "(1)";
+  for (int d = 0; d < 12; ++d) {
+    tree = "(1 " + tree + " " + tree + ")";
+  }
+  scenarios::BuildTree(fx.image(), "root", tree);
+  scenarios::BuildDenseSymtab(fx.image(), 64);
+}
+
+void BM_Engine(benchmark::State& state) {
+  const Shape& shape = kShapes[state.range(0)];
+  EngineKind kind = state.range(1) == 0 ? EngineKind::kStateMachine : EngineKind::kCoroutine;
+  BenchFixture fx(EngineOptions(kind));
+  fx.session().options().eval.sym_mode = EvalOptions::SymMode::kOff;  // isolate engines
+  SetupImage(fx);
+  for (auto _ : state) {
+    fx.Drive(shape.query);
+  }
+  fx.session().context().counters().Reset();
+  fx.Drive(shape.query);
+  state.counters["eval_steps"] =
+      static_cast<double>(fx.session().context().counters().eval_steps);
+  state.SetLabel(std::string(shape.name) +
+                 (kind == EngineKind::kStateMachine ? "/state-machine" : "/coroutine"));
+}
+BENCHMARK(BM_Engine)->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7}, {0, 1}});
+
+}  // namespace
+}  // namespace duel::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// E2 — the paper's headline timing: "For example, x[..10000] >? 0 compiles
+// and executes in about 5 seconds on a DECStation 5000."
+//
+// We sweep the array size and time (a) parse+evaluate together, exactly the
+// paper's "compiles and executes", and (b) evaluation alone. Expected shape:
+// linear scaling in N; a modern CPU runs the 10k query ~4-5 orders of
+// magnitude faster than the 1992 workstation.
+
+#include "bench/bench_util.h"
+
+namespace duel::bench {
+namespace {
+
+void BM_HeadlineParseAndEval(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BenchFixture fx;
+  scenarios::BuildRandomIntArray(fx.image(), "x", n, -100, 100, 42);
+  std::string query = "x[.." + std::to_string(n) + "] >? 0";
+  uint64_t values = 0;
+  for (auto _ : state) {
+    values += fx.Drive(query);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+  state.counters["positives"] =
+      static_cast<double>(values) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_HeadlineParseAndEval)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_HeadlineParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    Parser parser("x[..10000] >? 0");
+    ParseResult r = parser.Parse();
+    benchmark::DoNotOptimize(r.num_nodes);
+  }
+}
+BENCHMARK(BM_HeadlineParseOnly);
+
+void BM_HeadlineEvalWithOutput(benchmark::State& state) {
+  // Includes result formatting (the paper's command prints all values).
+  size_t n = 10000;
+  BenchFixture fx;
+  scenarios::BuildRandomIntArray(fx.image(), "x", n, -100, 100, 42);
+  for (auto _ : state) {
+    QueryResult r = fx.session().Query("x[..10000] >? 0");
+    benchmark::DoNotOptimize(r.lines.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_HeadlineEvalWithOutput);
+
+}  // namespace
+}  // namespace duel::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+// E1 — regenerates every inline example of the paper: for each `gdb> duel`
+// line, the query is run against the reconstructed program state and the
+// measured output is printed next to the output the paper shows, with
+// timing. This is the harness behind the E1 rows in EXPERIMENTS.md (the
+// same examples are golden-tested in tests/paper_examples_test.cc).
+//
+// Deliberately a plain program, not a google-benchmark binary: the "figure"
+// being reproduced is the printed outputs themselves.
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+
+#include "src/duel/duel.h"
+#include "src/scenarios/scenarios.h"
+
+using namespace duel;
+
+namespace {
+
+struct Example {
+  const char* section;
+  const char* query;
+  const char* paper_output;  // as printed in the paper ("" if not shown)
+  std::function<void(target::TargetImage&)> setup;
+  const char* note = "";
+};
+
+void SetupArrays(target::TargetImage& image) {
+  std::vector<int32_t> x(51, 0);
+  x[3] = 7;
+  x[18] = 9;
+  x[47] = 6;
+  x[2] = 12;
+  scenarios::BuildIntArray(image, "x", x);
+}
+
+void SetupWideArray(target::TargetImage& image) {
+  std::vector<int32_t> x(10, 1);
+  x[3] = -9;
+  x[8] = 120;
+  scenarios::BuildIntArray(image, "x", x);
+}
+
+void SetupHash(target::TargetImage& image) {
+  std::map<size_t, std::vector<scenarios::SymEntry>> chains;
+  chains[42] = {{"deep", 7}};
+  chains[529] = {{"deeper", 8}};
+  chains[7] = {{"shallow", 2}};
+  scenarios::BuildSymtab(image, chains, 1024);
+}
+
+void SetupHashChain(target::TargetImage& image) {
+  scenarios::BuildSymtab(image, {{0, {{"a", 4}, {"b", 3}, {"c", 2}, {"d", 1}}},
+                                 {1, {{"x", 3}}},
+                                 {9, {{"abc", 2}}}});
+}
+
+void SetupSortedness(target::TargetImage& image) {
+  std::map<size_t, std::vector<scenarios::SymEntry>> chains;
+  chains[3] = {{"s0", 9}, {"s1", 5}};
+  std::vector<scenarios::SymEntry> bad;
+  int32_t scopes[] = {13, 12, 11, 10, 9, 8, 7, 6, 5, 6};
+  for (size_t i = 0; i < 10; ++i) {
+    bad.push_back({"u" + std::to_string(i), scopes[i]});
+  }
+  chains[287] = bad;
+  scenarios::BuildSymtab(image, chains, 1024);
+}
+
+void SetupLists(target::TargetImage& image) {
+  scenarios::BuildList(image, "L", {11, 22, 33, 44, 27, 55, 66, 77, 88, 27});
+  scenarios::BuildList(image, "head", {1, 2, 3, 33, 4, 29});
+}
+
+void SetupTree(target::TargetImage& image) {
+  scenarios::BuildTree(image, "root", "(9 (3 (4) (5)) (12))");
+}
+
+void SetupArgv(target::TargetImage& image) {
+  scenarios::BuildArgv(image, {"prog", "-v", "input.c"});
+}
+
+void SetupNone(target::TargetImage&) {}
+
+const Example kExamples[] = {
+    {"Syntax", "1 + (double)3/2", "2.500", SetupNone, "we print 2.5 (%g vs %.3f)"},
+    {"Syntax", "(1,2,5)*4+(10,200)", "14 204 18 208 30 220", SetupNone,
+     "paper omits the symbolic column here"},
+    {"Syntax", "(3,11)+(5..7)", "8 9 10 16 17 18", SetupNone, ""},
+    {"Syntax", "x[1..4,8,12..50] >? 5 <? 10", "x[3] = 7\nx[18] = 9\nx[47] = 6", SetupArrays,
+     ""},
+    {"Syntax", "x[1..4,8,12..50] ==? (6..9)", "(same as above)", SetupArrays, ""},
+    {"Syntax", "x[1..3] == 7", "x[1]==7 = 0\nx[2]==7 = 0\nx[3]==7 = 1",
+     [](target::TargetImage& im) {
+       std::vector<int32_t> x(4, 0);
+       x[3] = 7;
+       scenarios::BuildIntArray(im, "x", x);
+     },
+     ""},
+    {"Syntax", "(hash[..1024] !=? 0)->scope >? 5",
+     "hash[42]->scope = 7\nhash[529]->scope = 8", SetupHash, ""},
+    {"Syntax", "int i; for (i = 0; i < 9; i++) 4 + if (i%3==0) i*5",
+     "4+i*5 = 4\n4+i*5 = 19\n4+i*5 = 34", SetupNone, ""},
+    {"Syntax", "int i; for (i = 0; i < 9; i++) 4 + if (i%3 == 0) {i}*5",
+     "4+0*5 = 4\n4+3*5 = 19\n4+6*5 = 34", SetupNone, ""},
+    {"Syntax", "i := 1..3; i + 4", "i+4 = 7", SetupNone, ""},
+    {"Syntax", "i := 1..3 => {i} + 4", "1+4 = 5\n2+4 = 6\n3+4 = 7", SetupNone, ""},
+    {"Syntax", "hash[1,9]->(scope,name)",
+     "hash[1]->scope = 3\nhash[1]->name = \"x\"\nhash[9]->scope = 2\nhash[9]->name = "
+     "\"abc\"",
+     SetupHashChain, ""},
+    {"Syntax", "hash[..1024]->(if (_ && scope > 5) name)", "(names with scope > 5)",
+     SetupHash, ""},
+    {"Syntax", "y:= x[..10] => if (y < 0 || y > 100) y", "y = -9\ny = 120", SetupWideArray,
+     ""},
+    {"Syntax", "x[..10].if (_ < 0 || _ > 100) _", "x[3] = -9\nx[8] = 120", SetupWideArray,
+     ""},
+    {"Syntax", "hash[0]-->next->scope",
+     "hash[0]->scope = 4\nhash[0]->next->scope = 3\nhash[0]->next->next->scope = "
+     "2\nhash[0]->next->next->next->scope = 1",
+     SetupHashChain, ""},
+    {"Syntax", "L-->next->(value ==? next-->next->value)", "(duplicate values)", SetupLists,
+     ""},
+    {"Syntax", "root-->(left,right)->key",
+     "root->key = 9\nroot->left->key = 3\nroot->left->right->key = 5\nroot->left->left->key "
+     "= 4\nroot->right->key = 12",
+     SetupTree, "paper's own output order contradicts its reverse-stacking remark"},
+    {"Syntax", "root-->(if (key > 5) left else if (key < 5) right)->key",
+     "root->key = 9\nroot->left->key = 3\nroot->left->right->key = 5", SetupTree,
+     "comparisons swapped vs. paper text (typo there; see EXPERIMENTS.md)"},
+    {"Syntax", "hash[..1024]-->next-> if (next) scope <? next->scope",
+     "hash[287]-->next[[8]]->scope = 5", SetupSortedness, ""},
+    {"Syntax", "((1..9)*(1..9))[[52,74]]", "6*8 = 48\n9*3 = 27", SetupNone, ""},
+    {"Syntax", "head-->next->value[[3,5]]",
+     "head-->next[[3]]->value = 33\nhead-->next[[5]]->value = 29", SetupLists, ""},
+    {"Syntax", "#/(root-->(left,right)->key)", "5", SetupTree, ""},
+    {"Syntax",
+     "L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value",
+     "L-->next[[4]]->value = 27\nL-->next[[9]]->value = 27", SetupLists, ""},
+    {"Syntax", "argv[0..]@0", "(the strings in argv)", SetupArgv, ""},
+    {"Semantics", "printf(\"%d %d, \", (3,4), 5..7) ;", "3 5, 3 6, 3 7, 4 5, 4 6, 4 7, ",
+     SetupNone, "output appears on the target's stdout"},
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "E1: paper inline examples, regenerated\n";
+  std::cout << "======================================\n\n";
+  size_t failures = 0;
+  for (const Example& ex : kExamples) {
+    target::TargetImage image;
+    target::InstallStandardFunctions(image);
+    ex.setup(image);
+    dbg::SimBackend backend(image);
+    Session session(backend);
+
+    auto start = std::chrono::steady_clock::now();
+    QueryResult r = session.Query(ex.query);
+    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    std::cout << "[" << ex.section << "] gdb> duel " << ex.query << "\n";
+    std::cout << "  paper:    ";
+    for (char c : std::string(ex.paper_output)) {
+      std::cout << c;
+      if (c == '\n') {
+        std::cout << "            ";
+      }
+    }
+    std::cout << "\n  measured: ";
+    if (!r.ok) {
+      std::cout << r.error;
+      failures++;
+    } else if (r.lines.empty()) {
+      std::cout << (image.output().empty() ? "(no output)" : image.TakeOutput());
+    } else {
+      for (size_t i = 0; i < r.lines.size(); ++i) {
+        if (i != 0) {
+          std::cout << "\n            ";
+        }
+        std::cout << r.lines[i];
+      }
+    }
+    std::cout << "\n  time: " << micros << " us";
+    if (ex.note[0] != '\0') {
+      std::cout << "   note: " << ex.note;
+    }
+    std::cout << "\n\n";
+  }
+  std::cout << (failures == 0 ? "all examples evaluated without error\n"
+                              : "SOME EXAMPLES FAILED\n");
+  return failures == 0 ? 0 : 1;
+}

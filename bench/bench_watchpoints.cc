@@ -1,0 +1,119 @@
+// E10 (extension) — DUEL expressions in watchpoints and conditional
+// breakpoints. The paper: "The evaluation time for most Duel expressions is
+// negligible ... A faster implementation would be required if Duel
+// expressions were used in watchpoints and conditional breakpoints."
+//
+// We measure statement-execution throughput of the stepping debugger with
+// 0..4 watchpoints of increasing complexity, quantifying exactly the
+// overhead the paper predicted.
+
+#include "bench/bench_util.h"
+#include "src/exec/debugger.h"
+
+namespace duel::bench {
+namespace {
+
+std::vector<std::string> MakeProgram(size_t statements) {
+  std::vector<std::string> lines;
+  lines.push_back("int i;");
+  for (size_t s = 0; s < statements; ++s) {
+    lines.push_back("x[" + std::to_string(s % 64) + "] = " + std::to_string(s) + ";");
+  }
+  return lines;
+}
+
+const char* kWatchExprs[] = {
+    "x[0]",                 // scalar watch
+    "+/x[..64]",            // aggregate watch
+    "x[..64] >? 40",        // filter watch (sequence-valued)
+    "#/(L-->next->value)",  // structure watch
+};
+
+void BM_SteppingWithWatchpoints(benchmark::State& state) {
+  size_t watchpoints = static_cast<size_t>(state.range(0));
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildIntArray(image, "x", std::vector<int32_t>(64, 0));
+  scenarios::BuildList(image, "L", {1, 2, 3, 4, 5, 6, 7, 8});
+  dbg::SimBackend backend(image);
+
+  const size_t kStatements = 200;
+  exec::TargetProgram program =
+      exec::TargetProgram::Parse(MakeProgram(kStatements), image);
+  SessionOptions opts;
+  opts.eval.sym_mode = EvalOptions::SymMode::kOff;
+
+  uint64_t stops = 0;
+  for (auto _ : state) {
+    exec::Debugger dbg(image, backend, program, opts);
+    for (size_t w = 0; w < watchpoints; ++w) {
+      dbg.AddWatchpoint(kWatchExprs[w]);
+    }
+    while (true) {
+      exec::StopInfo s = dbg.Continue();
+      if (s.reason == exec::StopReason::kFinished ||
+          s.reason == exec::StopReason::kError) {
+        break;
+      }
+      stops++;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kStatements) * state.iterations());
+  state.counters["stops"] =
+      static_cast<double>(stops) / static_cast<double>(state.iterations());
+  state.SetLabel(std::to_string(watchpoints) + " watchpoints");
+}
+BENCHMARK(BM_SteppingWithWatchpoints)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SteppingWithAddressWatch(benchmark::State& state) {
+  // The hardware-watchpoint analog: raw byte comparison per statement.
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildIntArray(image, "x", std::vector<int32_t>(64, 0));
+  dbg::SimBackend backend(image);
+  const size_t kStatements = 200;
+  exec::TargetProgram program =
+      exec::TargetProgram::Parse(MakeProgram(kStatements), image);
+  target::Addr x = image.symbols().FindVariable("x")->addr;
+  for (auto _ : state) {
+    exec::Debugger dbg(image, backend, program);
+    dbg.AddAddressWatch(x + 63 * 4, 4);  // a slot the program never writes
+    while (dbg.Continue().reason != exec::StopReason::kFinished) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kStatements) * state.iterations());
+  state.SetLabel("1 address watch");
+}
+BENCHMARK(BM_SteppingWithAddressWatch);
+
+void BM_ConditionalBreakpointEvalRate(benchmark::State& state) {
+  // How many DUEL condition evaluations per second can a breakpoint sustain?
+  bool complex_cond = state.range(0) != 0;
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildIntArray(image, "x", std::vector<int32_t>(64, 1));
+  dbg::SimBackend backend(image);
+  exec::TargetProgram program = exec::TargetProgram::Parse(MakeProgram(100), image);
+  SessionOptions opts;
+  opts.eval.sym_mode = EvalOptions::SymMode::kOff;
+
+  const char* cond = complex_cond ? "#/(x[..64] >? 1000) != 0" : "x[0] < 0";
+  uint64_t evals = 0;
+  for (auto _ : state) {
+    exec::Debugger dbg(image, backend, program, opts);
+    for (size_t line = 0; line < program.size(); ++line) {
+      dbg.AddBreakpoint(line, cond);  // never fires: measures pure guard cost
+    }
+    while (dbg.Continue().reason != exec::StopReason::kFinished) {
+    }
+    evals += dbg.guard_evals();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(evals));
+  state.SetLabel(complex_cond ? "generator condition" : "scalar condition");
+}
+BENCHMARK(BM_ConditionalBreakpointEvalRate)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace duel::bench
+
+BENCHMARK_MAIN();

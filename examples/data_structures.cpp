@@ -1,0 +1,75 @@
+// Querying linked lists and binary trees with DUEL: duplicate detection,
+// search paths, breadth- vs depth-first expansion, and what happens on
+// corrupted (cyclic / dangling) structures.
+//
+//   $ ./data_structures
+
+#include <iostream>
+
+#include "src/duel/duel.h"
+#include "src/scenarios/scenarios.h"
+
+using namespace duel;
+
+namespace {
+
+void Run(Session& session, const std::string& query) {
+  std::cout << "duel> " << query << "\n";
+  QueryResult r = session.Query(query);
+  std::cout << r.Text() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+
+  // A list with a duplicated value (the Introduction's query), a BST, a
+  // cyclic list (bug!) and a list with a dangling tail pointer (bug!).
+  scenarios::BuildList(image, "L", {11, 22, 33, 44, 27, 55, 66, 77, 88, 27});
+  scenarios::BuildTree(image, "root", "(9 (3 (4) (5)) (12))");
+  scenarios::BuildCyclicList(image, "loopy", {1, 2, 3, 4, 5}, 2);
+  scenarios::BuildDanglingList(image, "trashed", {6, 7, 8}, 0xdead0000);
+
+  dbg::SimBackend backend(image);
+  Session session(backend);
+
+  std::cout << "== does list L contain two identical elements in its value fields?\n";
+  Run(session, "L-->next->(value ==? next-->next->value)");
+
+  std::cout << "== ...and at which positions?\n";
+  Run(session,
+      "L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value");
+
+  std::cout << "== compare with the C code from the paper's Introduction\n"
+            << "   (two nested loops, a helper variable pair, and a printf)\n";
+  Run(session,
+      "List *p, *q;"
+      " for (p = L; p; p = p->next)"
+      "  for (q = p->next; q; q = q->next)"
+      "   if (p->value == q->value)"
+      "    printf(\"%d duplicated\\n\", p->value) ;");
+  std::cout << "(target stdout) " << image.TakeOutput() << "\n";
+
+  std::cout << "== all keys of the tree, preorder and breadth-first\n";
+  Run(session, "root-->(left,right)->key");
+  Run(session, "root-->>(left,right)->key");
+
+  std::cout << "== the BST search path to key 5\n";
+  Run(session, "root-->(if (key > 5) left else if (key < 5) right)->key");
+
+  std::cout << "== tree statistics as one-liners\n";
+  Run(session, "#/(root-->(left,right))");
+  Run(session, "+/(root-->(left,right)->key)");
+
+  std::cout << "== a corrupted, cyclic list: cycle detection stops the walk\n";
+  Run(session, "loopy-->next->value");
+
+  std::cout << "== a list whose tail pointer is garbage: the walk ends silently\n";
+  Run(session, "trashed-->next->value");
+
+  std::cout << "== but dereferencing the garbage pointer directly is reported\n";
+  Run(session, "trashed-->next[[2]]->next->value");
+  return 0;
+}

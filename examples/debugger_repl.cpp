@@ -1,0 +1,358 @@
+// An interactive mini-debugger hosting DUEL — the "one new command"
+// integration the paper describes, as a standalone tool.
+//
+// The debuggee is a simulated program with a symbol table, lists, trees and
+// arrays. Commands:
+//
+//   duel EXPR      evaluate a DUEL expression (the paper's new command)
+//   print EXPR     conventional single-value evaluation (the baseline)
+//   mi LINE        drive the gdb/MI-style machine interface directly
+//   engine NAME    switch evaluation engine: sm | coro
+//   symbolic on|off
+//   remote on|off  route DUEL through the RSP wire protocol
+//   info           image statistics and backend counters
+//   help, quit
+//
+//   $ ./debugger_repl            (interactive)
+//   $ echo 'duel arr[..10] >? 0' | ./debugger_repl
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/baseline/baseline.h"
+#include "src/support/strings.h"
+#include "src/duel/duel.h"
+#include "src/exec/debugger.h"
+#include "src/mi/mi.h"
+#include "src/rsp/remote_backend.h"
+#include "src/rsp/server.h"
+#include "src/rsp/transport.h"
+#include "src/scenarios/scenario_file.h"
+#include "src/scenarios/scenarios.h"
+
+using namespace duel;
+
+namespace {
+
+void BuildDebuggee(target::TargetImage& image) {
+  target::InstallStandardFunctions(image);
+  scenarios::BuildIntArray(image, "arr", {3, -1, 4, 1, -5, 9, 2, 6, -5, 3});
+  scenarios::BuildList(image, "L", {11, 27, 33, 27, 8});
+  scenarios::BuildTree(image, "root", "(9 (3 (4) (5)) (12))");
+  std::map<size_t, std::vector<scenarios::SymEntry>> chains;
+  chains[0] = {{"main", 4}, {"argc", 3}};
+  chains[42] = {{"deep", 7}};
+  scenarios::BuildSymtab(image, chains, 1024);
+  scenarios::BuildArgv(image, {"debuggee", "--verbose", "in.c"});
+  scenarios::BuildFrames(image, 3);
+}
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  duel EXPR       evaluate a DUEL expression\n"
+      "  print EXPR      conventional debugger evaluation (no generators)\n"
+      "  mi LINE         raw machine-interface command (-duel-evaluate \"...\")\n"
+      "  engine sm|coro  choose the evaluation engine\n"
+      "  symbolic on|off toggle symbolic values\n"
+      "  remote on|off   route queries through the RSP wire protocol\n"
+      "  info            image and backend statistics\n"
+      "  history         list past duel queries; !N or !! re-runs one\n"
+      "  load FILE       load a scenario description file into the debuggee\n"
+      "  dump [FILE]     snapshot the debuggee as scenario text (to FILE or stdout)\n"
+      "  x ADDR N        examine N bytes of target memory at ADDR (hex dump)\n"
+      "  program FILE    load a steppable program (one C statement per line)\n"
+      "  list            show the loaded program with the current pc\n"
+      "  break N [COND]  breakpoint before line N (1-based), optional DUEL condition\n"
+      "  watch EXPR      DUEL watchpoint (fires when the value sequence changes)\n"
+      "  assert EXPR     stop when the DUEL assertion stops holding\n"
+      "  display EXPR    auto-print a DUEL expression at every program stop\n"
+      "  step | continue drive the loaded program\n"
+      "  help            this text\n"
+      "  quit            exit\n"
+      "the debuggee has: int arr[10]; List *L; struct node *root;\n"
+      "                  struct symbol *hash[1024]; char *argv[4]; 3 frames with int x\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  target::TargetImage image;
+  if (argc > 1) {
+    // Load the debuggee from a scenario description file instead.
+    target::InstallStandardFunctions(image);
+    try {
+      scenarios::LoadScenarioFile(image, argv[1]);
+    } catch (const DuelError& e) {
+      std::cerr << "error loading " << argv[1] << ": " << e.what() << "\n";
+      return 1;
+    }
+  } else {
+    BuildDebuggee(image);
+  }
+
+  dbg::SimBackend sim(image);
+  rsp::RspServer server(sim);
+  rsp::FramedTransport transport(server);
+  rsp::RemoteBackend remote(transport);
+
+  Session local_session(sim);
+  Session remote_session(remote);
+  mi::MiSession mi_session(sim);
+  EvalContext baseline_ctx(sim, EvalOptions());
+
+  // Optional steppable program (the `program` command).
+  std::unique_ptr<exec::TargetProgram> program;
+  std::unique_ptr<exec::Debugger> prog_dbg;
+  auto report_stop = [&](const exec::StopInfo& stop) {
+    switch (stop.reason) {
+      case exec::StopReason::kBreakpoint:
+        std::cout << "breakpoint " << stop.index << " before line " << stop.line + 1 << ": "
+                  << prog_dbg->program().line(stop.line) << "\n";
+        break;
+      case exec::StopReason::kWatchpoint:
+        std::cout << "stopped after line " << stop.line + 1 << ": " << stop.detail << "\n";
+        break;
+      case exec::StopReason::kAssertion:
+        std::cout << "stopped after line " << stop.line + 1 << ": " << stop.detail << "\n";
+        break;
+      case exec::StopReason::kError:
+        std::cout << "program error: " << stop.detail << "\n";
+        break;
+      case exec::StopReason::kFinished:
+        std::cout << "program finished\n";
+        break;
+      case exec::StopReason::kStep:
+        std::cout << "stepped; next line " << prog_dbg->pc() + 1 << "\n";
+        break;
+    }
+  };
+
+  bool use_remote = false;
+  bool interactive = isatty(0);
+  if (interactive) {
+    std::cout << "duel mini-debugger (type 'help' for commands)\n";
+  }
+
+  std::string line;
+  while (true) {
+    Session& session = use_remote ? remote_session : local_session;
+    if (interactive) {
+      std::cout << (use_remote ? "(remote-gdb) " : "(gdb) ") << std::flush;
+    }
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    std::string rest;
+    std::getline(iss, rest);
+    while (!rest.empty() && rest.front() == ' ') {
+      rest.erase(rest.begin());
+    }
+
+    if (cmd.empty()) {
+      continue;
+    }
+    if (cmd == "quit" || cmd == "q") {
+      break;
+    }
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "duel") {
+      std::cout << session.Query(rest).Text();
+      std::cout << image.TakeOutput();  // anything the target's printf wrote
+    } else if (cmd == "print" || cmd == "p") {
+      try {
+        std::cout << baseline::RunBaselineQuery(sim, baseline_ctx, rest) << "\n";
+        std::cout << image.TakeOutput();
+      } catch (const DuelError& e) {
+        std::cout << FormatError(e) << "\n";
+      }
+    } else if (cmd == "mi") {
+      std::cout << mi_session.Handle(rest);
+    } else if (cmd == "engine") {
+      EngineKind kind =
+          rest == "coro" ? EngineKind::kCoroutine : EngineKind::kStateMachine;
+      local_session.options().engine = kind;
+      remote_session.options().engine = kind;
+      std::cout << "engine: " << (rest == "coro" ? "coroutine" : "state-machine") << "\n";
+    } else if (cmd == "symbolic") {
+      auto mode = rest == "off"    ? EvalOptions::SymMode::kOff
+                  : rest == "lazy" ? EvalOptions::SymMode::kLazy
+                                   : EvalOptions::SymMode::kOn;
+      local_session.options().eval.sym_mode = mode;
+      remote_session.options().eval.sym_mode = mode;
+      std::cout << "symbolic: " << rest << "\n";
+    } else if (cmd == "remote") {
+      use_remote = rest == "on";
+      std::cout << "remote: " << (use_remote ? "on" : "off") << "\n";
+    } else if (cmd == "load") {
+      try {
+        scenarios::LoadScenarioFile(image, rest);
+        std::cout << "loaded " << rest << "\n";
+      } catch (const DuelError& e) {
+        std::cout << "load failed: " << e.what() << "\n";
+      }
+    } else if (cmd == "dump") {
+      std::string text = scenarios::DumpScenario(image);
+      if (rest.empty()) {
+        std::cout << text;
+      } else {
+        std::ofstream outf(rest);
+        if (!outf) {
+          std::cout << "cannot write " << rest << "\n";
+        } else {
+          outf << text;
+          std::cout << "wrote " << rest << "\n";
+        }
+      }
+    } else if (cmd == "x") {
+      std::istringstream xs(rest);
+      std::string addr_text;
+      size_t count = 16;
+      xs >> addr_text >> count;
+      uint64_t addr = strtoull(addr_text.c_str(), nullptr, 0);
+      for (size_t off = 0; off < count; off += 16) {
+        std::cout << StrPrintf("0x%llx: ", static_cast<unsigned long long>(addr + off));
+        std::string ascii;
+        for (size_t i = 0; i < 16 && off + i < count; ++i) {
+          uint8_t byte;
+          if (!image.memory().TryRead(addr + off + i, &byte, 1)) {
+            std::cout << "?? ";
+            ascii += '?';
+          } else {
+            std::cout << StrPrintf("%02x ", byte);
+            ascii += (byte >= 0x20 && byte < 0x7f) ? static_cast<char>(byte) : '.';
+          }
+        }
+        std::cout << " |" << ascii << "|\n";
+      }
+    } else if (cmd == "program") {
+      try {
+        std::ifstream in(rest);
+        if (!in) {
+          std::cout << "cannot open " << rest << "\n";
+          continue;
+        }
+        std::vector<std::string> prog_lines;
+        std::string pl;
+        while (std::getline(in, pl)) {
+          prog_lines.push_back(pl);
+        }
+        program = std::make_unique<exec::TargetProgram>(
+            exec::TargetProgram::Parse(prog_lines, image));
+        prog_dbg = std::make_unique<exec::Debugger>(image, sim, *program);
+        std::cout << "loaded " << program->size() << " lines from " << rest << "\n";
+      } catch (const DuelError& e) {
+        std::cout << "program load failed: " << e.what() << "\n";
+      }
+    } else if (cmd == "list") {
+      if (prog_dbg == nullptr) {
+        std::cout << "no program loaded (use: program FILE)\n";
+        continue;
+      }
+      for (size_t i = 0; i < program->size(); ++i) {
+        std::cout << (i == prog_dbg->pc() ? "=> " : "   ") << i + 1 << "  "
+                  << program->line(i) << "\n";
+      }
+    } else if (cmd == "break" || cmd == "watch" || cmd == "assert" || cmd == "display" ||
+               cmd == "step" || cmd == "continue" || cmd == "c") {
+      if (prog_dbg == nullptr) {
+        std::cout << "no program loaded (use: program FILE)\n";
+        continue;
+      }
+      try {
+        if (cmd == "break") {
+          std::istringstream bp(rest);
+          size_t line_no = 0;
+          bp >> line_no;
+          std::string cond;
+          std::getline(bp, cond);
+          while (!cond.empty() && cond.front() == ' ') {
+            cond.erase(cond.begin());
+          }
+          int idx = prog_dbg->AddBreakpoint(line_no == 0 ? 0 : line_no - 1, cond);
+          std::cout << "breakpoint " << idx << " at line " << line_no << "\n";
+        } else if (cmd == "watch") {
+          int idx = prog_dbg->AddWatchpoint(rest);
+          std::cout << "watchpoint " << idx << ": " << rest << "\n";
+        } else if (cmd == "assert") {
+          int idx = prog_dbg->AddAssertion("a" + std::to_string(rest.size()), rest);
+          std::cout << "assertion " << idx << ": " << rest << "\n";
+        } else if (cmd == "display") {
+          int idx = prog_dbg->AddDisplay(rest);
+          std::cout << "display " << idx << ": " << rest << "\n";
+        } else if (cmd == "step") {
+          report_stop(prog_dbg->Step());
+          for (const std::string& d : prog_dbg->RenderDisplays()) {
+            std::cout << "  " << d << "\n";
+          }
+        } else {
+          report_stop(prog_dbg->Continue());
+          for (const std::string& d : prog_dbg->RenderDisplays()) {
+            std::cout << "  " << d << "\n";
+          }
+        }
+      } catch (const DuelError& e) {
+        std::cout << "error: " << e.what() << "\n";
+      }
+    } else if (cmd == "history") {
+      const std::vector<std::string>& h = session.history();
+      for (size_t i = 0; i < h.size(); ++i) {
+        std::cout << "  " << i << "  " << h[i] << "\n";
+      }
+    } else if (cmd[0] == '!') {
+      const std::vector<std::string>& h = session.history();
+      std::string query;
+      if (cmd == "!!" && !h.empty()) {
+        query = h.back();
+      } else if (cmd.size() > 1) {
+        size_t idx = static_cast<size_t>(atoi(cmd.c_str() + 1));
+        if (idx < h.size()) {
+          query = h[idx];
+        }
+      }
+      if (query.empty()) {
+        std::cout << "no such history entry\n";
+      } else {
+        std::cout << "duel " << query << "\n" << session.Query(query).Text();
+        std::cout << image.TakeOutput();
+      }
+    } else if (cmd == "info" && rest == "globals") {
+      for (const target::Variable& v : image.symbols().globals()) {
+        std::cout << "  " << v.type->Declare(v.name) << "\n";
+      }
+    } else if (cmd == "info" && rest == "locals") {
+      if (image.symbols().NumFrames() == 0) {
+        std::cout << "no frames\n";
+      } else {
+        for (size_t f = 0; f < image.symbols().NumFrames(); ++f) {
+          const target::Frame& frame = image.symbols().GetFrame(f);
+          std::cout << "frame " << f << " (" << frame.function << "):\n";
+          for (const target::Variable& v : frame.locals) {
+            std::cout << "  " << v.type->Declare(v.name) << "\n";
+          }
+        }
+      }
+    } else if (cmd == "info") {
+      std::cout << "globals: " << image.symbols().globals().size()
+                << ", functions: " << image.symbols().functions().size()
+                << ", frames: " << image.symbols().NumFrames() << "\n"
+                << "sim backend: " << sim.counters().read_calls << " reads, "
+                << sim.counters().symbol_lookups << " symbol lookups\n"
+                << "rsp transport: " << transport.round_trips() << " round trips, "
+                << transport.bytes_on_wire() << " bytes on wire\n";
+    } else {
+      std::cout << "unknown command '" << cmd << "' (try 'help')\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Hunting heap corruption with DUEL one-liners.
+//
+// The debuggee has a malloc-style arena: chunks laid head-to-tail
+// (next chunk = (struct chunk *)((char *)c + c->size)), free chunks threaded
+// per-bin through `fd`. One chunk's size field has been smashed. The session
+// shows the state-exploration workflow the paper advocates: summarize,
+// validate an invariant with a one-liner, localize the corruption.
+//
+//   $ ./heap_doctor
+
+#include <iostream>
+
+#include "src/duel/duel.h"
+#include "src/scenarios/scenarios.h"
+
+using namespace duel;
+
+namespace {
+
+void Run(Session& session, const std::string& query) {
+  std::cout << "duel> " << query << "\n";
+  std::cout << session.Query(query).Text() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::HeapSpec spec;
+  spec.chunk_count = 12;
+  spec.corrupt_index = 7;
+  spec.corrupt_size = 13;  // bogus: too small and misaligned
+  scenarios::BuildHeap(image, spec);
+
+  dbg::SimBackend backend(image);
+  Session session(backend);
+
+  std::cout << "== the free lists, per bin (walks the fd chains)\n";
+  Run(session, "bins[..4]-->fd->size");
+
+  std::cout << "== how many free chunks per bin?\n";
+  Run(session, "b := ..4 => {#/(bins[{b}]-->fd)}");
+
+  std::cout << "== walk the arena by computed chunk addresses: a declared\n"
+               "== debugger variable + a while loop, straight from the paper's\n"
+               "== 'DUEL accepts most of C' toolbox\n";
+  Run(session,
+      "struct chunk *p; unsigned long sz; p = (struct chunk *)arena;"
+      " while ((char *)p < arena_end && p->size >= 24)"
+      "  (sz = p->size; p = (struct chunk *)((char *)p + p->size); {sz})");
+
+  std::cout << "== the walk stopped early: some chunk's size is bogus.\n"
+               "== which one? validate the size invariant chunk by chunk\n";
+  Run(session,
+      "struct chunk *q; int k; q = (struct chunk *)arena; k = 0;"
+      " while ((char *)q < arena_end)"
+      "  (if (q->size < 24 || q->size % 8 != 0)"
+      "     printf(\"chunk %d at %p: bad size %d\\n\", k, q, (int)q->size);"
+      "   if (q->size < 24) q = (struct chunk *)arena_end"
+      "   else (q = (struct chunk *)((char *)q + q->size); k = k + 1)) ;");
+  std::cout << "(target stdout) " << image.TakeOutput() << "\n";
+
+  std::cout << "== free-list sanity: every free chunk's bin field must match\n"
+               "== the bin list it is on\n";
+  Run(session, "b2 := ..4 => bins[b2]-->fd->(bin !=? b2)");
+
+  std::cout << "== and no free chunk may be marked used\n";
+  Run(session, "#/(bins[..4]-->fd->used ==? 1)");
+  return 0;
+}

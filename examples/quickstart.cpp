@@ -1,0 +1,50 @@
+// Quickstart: build a tiny simulated debuggee, attach a DUEL session, and
+// run the queries from the paper's abstract.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/duel/duel.h"
+
+using namespace duel;
+
+int main() {
+  // 1. A simulated debuggee: the program state a debugger would show at a
+  //    breakpoint. Here: int x[100] with a few positive entries, and two
+  //    structs with an `a` field.
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  target::ImageBuilder b(image);
+
+  target::Addr x = b.Global("x", b.Arr(b.Int(), 100));
+  b.PokeI32(x + 4 * 12, 3);
+  b.PokeI32(x + 4 * 57, 41);
+  b.PokeI32(x + 4 * 99, 7);
+
+  target::TypeRef pair = b.Struct("pair").Field("a", b.Int()).Field("z", b.Int()).Build();
+  target::Addr p = b.Global("p", pair);
+  target::Addr q = b.Global("q", pair);
+  b.PokeI32(b.FieldAddr(p, pair, "a"), 10);
+  b.PokeI32(b.FieldAddr(q, pair, "a"), 20);
+
+  // 2. Attach DUEL through the narrow debugger interface.
+  dbg::SimBackend backend(image);
+  Session session(backend);
+
+  // 3. Ask very-high-level questions.
+  const char* queries[] = {
+      "x[..100] >? 0",       // which elements of x are positive, and where?
+      "(p,q).a",             // the a field of p and of q
+      "#/(x[..100] ==? 0)",  // how many elements are zero?
+      "+/x[..100]",          // their sum
+      "(1..3)+(5,9)",        // generators compose like in the paper
+  };
+  for (const char* query : queries) {
+    std::cout << "duel> " << query << "\n";
+    QueryResult r = session.Query(query);
+    std::cout << r.Text() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// DUEL expressions as watchpoints and conditional breakpoints — the
+// facilities the paper's Discussion proposes. A buggy insertion routine
+// runs under the stepping debugger; a DUEL one-liner invariant catches the
+// exact statement that breaks sortedness.
+//
+//   $ ./watchpoints
+
+#include <iostream>
+
+#include "src/exec/debugger.h"
+#include "src/scenarios/scenarios.h"
+
+using namespace duel;
+
+int main() {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildIntArray(image, "a", std::vector<int32_t>(8, 0));
+  dbg::SimBackend backend(image);
+
+  // The "program": fills a[] in sorted order, but one write is wrong.
+  std::vector<std::string> source = {
+      "## fill a[8] with an increasing sequence",
+      "int i;",
+      "for (i = 0; i < 8; i++) a[i] = 10 * i;",
+      "## a few updates that preserve sortedness",
+      "a[3] = 31;",
+      "a[6] = 61;",
+      "## ...and the bug: this one breaks it",
+      "a[5] = 7;",
+      "a[7] = 99;",
+  };
+  exec::TargetProgram program = exec::TargetProgram::Parse(source, image);
+  exec::Debugger dbg(image, backend, program);
+
+  // The invariant, as a DUEL one-liner: adjacent out-of-order pairs.
+  // (a[k] >? a[k+1] yields the offending left element.)
+  const std::string kInvariant = "a[..7]#k >? a[k+1]";
+  int wp = dbg.AddWatchpoint(kInvariant);
+  std::cout << "watch " << kInvariant << "\n\n";
+
+  for (;;) {
+    exec::StopInfo s = dbg.Continue();
+    if (s.reason == exec::StopReason::kWatchpoint) {
+      std::cout << "watchpoint fired after line " << s.line + 1 << ": "
+                << dbg.program().line(s.line) << "\n"
+                << "  " << s.detail << "\n"
+                << "  offending pairs now:\n";
+      for (const std::string& line : dbg.duel().Query(kInvariant).lines) {
+        std::cout << "    " << line << "\n";
+      }
+      std::cout << "\n";
+    } else if (s.reason == exec::StopReason::kFinished) {
+      std::cout << "program finished; " << dbg.guard_evals()
+                << " DUEL guard evaluations, watchpoint fired " << dbg.WatchpointFires(wp)
+                << " time(s)\n";
+      break;
+    } else if (s.reason == exec::StopReason::kError) {
+      std::cout << "program error: " << s.detail << "\n";
+      break;
+    }
+  }
+
+  // Conditional breakpoints: re-run the updates, stopping only when the
+  // array's sum exceeds a bound.
+  std::cout << "\nsecond run with a conditional breakpoint (+/a[..8] > 250):\n";
+  exec::Debugger dbg2(image, backend, program);
+  for (size_t line = 0; line < source.size(); ++line) {
+    dbg2.AddBreakpoint(line, "(+/a[..8]) > 250");
+  }
+  exec::StopInfo s = dbg2.Continue();
+  if (s.reason == exec::StopReason::kBreakpoint) {
+    std::cout << "stopped before line " << s.line + 1 << ": " << dbg2.program().line(s.line)
+              << "\n  +/a[..8] = " << dbg2.duel().Query("+/a[..8]").lines[0] << "\n";
+  } else {
+    std::cout << "never fired (reason " << static_cast<int>(s.reason) << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "src/baseline/baseline.h"
+
+#include "src/duel/apply.h"
+#include "src/duel/eval_util.h"
+#include "src/duel/output.h"
+#include "src/duel/parser.h"
+#include "src/support/strings.h"
+
+namespace duel::baseline {
+
+using target::TypeKind;
+
+Value CEvaluator::Require(const Node& n) {
+  std::optional<Value> v = Eval(n);
+  if (!v.has_value()) {
+    throw DuelError(ErrorKind::kType, "expression has no value", n.range);
+  }
+  return *v;
+}
+
+std::optional<Value> CEvaluator::EvalMember(const Node& n, bool arrow) {
+  Value subject = Require(*n.kids[0]);
+  const Node& member = *n.kids[1];
+  if (member.op != Op::kName) {
+    throw DuelError(ErrorKind::kParse,
+                    "a conventional debugger only accepts a member name after '.'/'->'",
+                    member.range);
+  }
+  Value v = ctx_->MemberAccess(subject, member.text, arrow, n.range);
+  return ComposeWithResult(*ctx_, subject, arrow, v);
+}
+
+std::optional<Value> CEvaluator::Eval(const Node& n) {
+  ctx_->Step();
+  switch (n.op) {
+    case Op::kIntConst:
+    case Op::kCharConst:
+    case Op::kFloatConst:
+      return ConstValue(*ctx_, n);
+    case Op::kStringConst:
+      return StringValue(*ctx_, n);
+    case Op::kName:
+      return NameValue(*ctx_, n);
+    case Op::kDecl:
+      ExecDecl(*ctx_, n);
+      return std::nullopt;
+    case Op::kSizeofType:
+      return SizeofTypeValue(*ctx_, n);
+    case Op::kSizeofExpr: {
+      Value v = Require(*n.kids[0]);  // no decay: arrays keep their full size
+      return Value::Int(ctx_->types().ULong(),
+                        static_cast<int64_t>(v.type() ? v.type()->size() : 0), Sym::None());
+    }
+    case Op::kCast: {
+      TypeRef type = ctx_->ResolveTypeSpec(n.type_spec, n.range);
+      return ApplyCast(*ctx_, type, Require(*n.kids[0]), n.range);
+    }
+    case Op::kWith:
+      return EvalMember(n, /*arrow=*/false);
+    case Op::kArrowWith:
+      return EvalMember(n, /*arrow=*/true);
+    case Op::kIndex:
+      return ApplyIndex(*ctx_, Require(*n.kids[0]), Require(*n.kids[1]), n.range);
+    case Op::kNeg:
+    case Op::kPos:
+    case Op::kBitNot:
+    case Op::kNot:
+    case Op::kDeref:
+    case Op::kAddrOf:
+      return ApplyUnary(*ctx_, n.op, Require(*n.kids[0]), n.range);
+    case Op::kPreInc:
+    case Op::kPreDec:
+    case Op::kPostInc:
+    case Op::kPostDec:
+      return ApplyIncDec(*ctx_, n.op, Require(*n.kids[0]), n.range);
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kLe:
+    case Op::kGe:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kBitAnd:
+    case Op::kBitXor:
+    case Op::kBitOr:
+      return ApplyBinary(*ctx_, n.op, Require(*n.kids[0]), Require(*n.kids[1]), n.range);
+    case Op::kAndAnd: {  // C short-circuit
+      if (!ctx_->Truthy(Require(*n.kids[0]))) {
+        return Value::Int(ctx_->types().Int(), 0, Sym::None());
+      }
+      return Value::Int(ctx_->types().Int(), ctx_->Truthy(Require(*n.kids[1])) ? 1 : 0,
+                        Sym::None());
+    }
+    case Op::kOrOr: {
+      if (ctx_->Truthy(Require(*n.kids[0]))) {
+        return Value::Int(ctx_->types().Int(), 1, Sym::None());
+      }
+      return Value::Int(ctx_->types().Int(), ctx_->Truthy(Require(*n.kids[1])) ? 1 : 0,
+                        Sym::None());
+    }
+    case Op::kCond:
+      return ctx_->Truthy(Require(*n.kids[0])) ? Eval(*n.kids[1]) : Eval(*n.kids[2]);
+    case Op::kAssign:
+    case Op::kMulEq:
+    case Op::kDivEq:
+    case Op::kModEq:
+    case Op::kAddEq:
+    case Op::kSubEq:
+    case Op::kShlEq:
+    case Op::kShrEq:
+    case Op::kAndEq:
+    case Op::kXorEq:
+    case Op::kOrEq:
+      return ApplyAssign(*ctx_, n.op, Require(*n.kids[0]), Require(*n.kids[1]), n.range);
+    case Op::kAlternate:  // C comma operator in the baseline
+    case Op::kSequence: {
+      Eval(*n.kids[0]);
+      return Eval(*n.kids[1]);
+    }
+    case Op::kDiscard:
+      Eval(*n.kids[0]);
+      return std::nullopt;
+    case Op::kIf: {
+      if (ctx_->Truthy(Require(*n.kids[0]))) {
+        return Eval(*n.kids[1]);
+      }
+      if (n.kids.size() > 2) {
+        return Eval(*n.kids[2]);
+      }
+      return std::nullopt;
+    }
+    case Op::kWhile: {
+      while (ctx_->Truthy(Require(*n.kids[0]))) {
+        ctx_->Step();
+        Eval(*n.kids[1]);
+      }
+      return std::nullopt;
+    }
+    case Op::kFor: {
+      Eval(*n.kids[0]);
+      while (ctx_->Truthy(Require(*n.kids[1]))) {
+        ctx_->Step();
+        Eval(*n.kids[3]);
+        Eval(*n.kids[2]);
+      }
+      return std::nullopt;
+    }
+    case Op::kCall: {
+      const Node& callee = *n.kids[0];
+      if (callee.op != Op::kName) {
+        throw DuelError(ErrorKind::kType, "only direct calls are supported", n.range);
+      }
+      std::vector<Value> args;
+      for (size_t i = 1; i < n.kids.size(); ++i) {
+        args.push_back(Require(*n.kids[i]));
+      }
+      return CallTarget(*ctx_, callee.text, args, n.range);
+    }
+    case Op::kBrace:
+      return Eval(*n.kids[0]);
+    default:
+      throw DuelError(
+          ErrorKind::kParse,
+          StrPrintf("'%s' is a DUEL operator; a conventional debugger cannot evaluate it",
+                    OpName(n.op)),
+          n.range);
+  }
+}
+
+std::string RunBaselineQuery(dbg::DebuggerBackend& backend, EvalContext& ctx,
+                             const std::string& source) {
+  Parser parser(source, [&backend](const std::string& name) {
+    return backend.GetTargetTypedef(name) != nullptr;
+  });
+  ParseResult parsed = parser.Parse();
+  CEvaluator eval(ctx);
+  std::optional<Value> v = eval.Eval(*parsed.root);
+  if (!v.has_value()) {
+    return "";
+  }
+  return FormatValue(ctx, *v);
+}
+
+}  // namespace duel::baseline

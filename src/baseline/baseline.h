@@ -1,0 +1,49 @@
+// The conventional-debugger baseline.
+//
+// The paper motivates DUEL by contrasting its one-liners with the C code a
+// programmer would type into a conventional debugger (gdb's `print`, or a
+// debugger that "accepts source-language statements"). This module is that
+// comparator: a single-value recursive evaluator over the same ASTs — C
+// expressions, statements-as-expressions (for/if/while, ';', ','),
+// declarations, assignment, and calls — with NO generators. Evaluating any
+// DUEL-specific operator (.., ?-filters, -->, [[]], #/, =>, :=, @, #) is an
+// error, exactly as it would be in a stock debugger.
+//
+// Experiment E6 runs the paper's Introduction queries both ways and compares
+// query length and runtime.
+
+#ifndef DUEL_BASELINE_BASELINE_H_
+#define DUEL_BASELINE_BASELINE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/duel/evalctx.h"
+#include "src/duel/value.h"
+
+namespace duel::baseline {
+
+class CEvaluator {
+ public:
+  explicit CEvaluator(EvalContext& ctx) : ctx_(&ctx) {}
+
+  // Evaluates a single-valued C expression/statement tree. Statements
+  // (for/if/while, declarations, void calls) return nullopt.
+  std::optional<Value> Eval(const Node& n);
+
+ private:
+  std::optional<Value> EvalMember(const Node& n, bool arrow);
+  Value Require(const Node& n);  // Eval, but a value must be produced
+
+  EvalContext* ctx_;
+};
+
+// Convenience: parse + evaluate a C query the way a conventional debugger
+// would, returning what `print expr` would print ("" for statements).
+// Throws DuelError (including on DUEL-only syntax).
+std::string RunBaselineQuery(dbg::DebuggerBackend& backend, EvalContext& ctx,
+                             const std::string& source);
+
+}  // namespace duel::baseline
+
+#endif  // DUEL_BASELINE_BASELINE_H_

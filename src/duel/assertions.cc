@@ -1,0 +1,73 @@
+#include "src/duel/assertions.h"
+
+#include "src/support/strings.h"
+
+namespace duel {
+
+AssertionOutcome CheckAssertion(Session& session, const std::string& name,
+                                const std::string& expr, size_t max_failures) {
+  AssertionOutcome out;
+  out.name = name;
+  out.expr = expr;
+  QueryResult r = session.Query(expr);
+  if (!r.ok) {
+    out.holds = false;
+    out.failures.push_back(r.error);
+    return out;
+  }
+  out.holds = true;
+  out.values_checked = r.value_count;
+  for (size_t i = 0; i < r.entries.size(); ++i) {
+    const ResultEntry& e = r.entries[i];
+    if (e.value == "0" || e.value == "false" || e.value == "0x0" || e.value == "'\\0'") {
+      out.holds = false;
+      if (out.failures.size() < max_failures) {
+        out.failures.push_back(r.lines[i]);
+      }
+    }
+  }
+  return out;
+}
+
+int AssertionSet::Add(std::string name, std::string expr) {
+  assertions_.push_back(Entry{std::move(name), std::move(expr)});
+  return static_cast<int>(assertions_.size()) - 1;
+}
+
+AssertionOutcome AssertionSet::Check(Session& session, size_t index,
+                                     size_t max_failures) const {
+  const Entry& e = assertions_.at(index);
+  return CheckAssertion(session, e.name, e.expr, max_failures);
+}
+
+std::vector<AssertionOutcome> AssertionSet::CheckAll(Session& session,
+                                                     size_t max_failures) const {
+  std::vector<AssertionOutcome> out;
+  out.reserve(assertions_.size());
+  for (size_t i = 0; i < assertions_.size(); ++i) {
+    out.push_back(Check(session, i, max_failures));
+  }
+  return out;
+}
+
+std::string AssertionSet::Report(const std::vector<AssertionOutcome>& outcomes,
+                                 bool only_failures) {
+  std::string report;
+  for (const AssertionOutcome& o : outcomes) {
+    if (only_failures && o.holds) {
+      continue;
+    }
+    report += StrPrintf("[%s] %s: %s", o.holds ? "PASS" : "FAIL", o.name.c_str(),
+                        o.expr.c_str());
+    if (o.holds) {
+      report += StrPrintf(" (%llu values)", static_cast<unsigned long long>(o.values_checked));
+    }
+    report += "\n";
+    for (const std::string& f : o.failures) {
+      report += "    " + f + "\n";
+    }
+  }
+  return report;
+}
+
+}  // namespace duel

@@ -1,0 +1,191 @@
+// Abstract syntax trees for DUEL expressions.
+//
+// Node kinds mirror the paper's abstract operators: generators (to,
+// alternate, filters), sequence manipulators (select, until, index-alias,
+// reductions), scope operators (with/dfs), control expressions (if/for/
+// while), aliases, and all of C's operators. The paper specifies ASTs in a
+// LISP-like notation — DumpAst() renders exactly that, and the parser tests
+// golden-match it.
+
+#ifndef DUEL_DUEL_AST_H_
+#define DUEL_DUEL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/error.h"
+#include "src/target/ctype.h"
+
+namespace duel {
+
+enum class Op {
+  // Primaries.
+  kIntConst,
+  kFloatConst,
+  kCharConst,
+  kStringConst,
+  kName,
+  kUnderscore,  // `_`: the value of the innermost `with`
+  kBrace,       // {e}: display override (symbolic becomes the value)
+
+  // DUEL generators and sequence operators.
+  kTo,          // e1..e2
+  kToOpen,      // e1..      (unbounded)
+  kToPrefix,    // ..e       (0..e-1)
+  kAlternate,   // e1,e2
+  kIfGt,        // e1 >? e2  (filter comparisons)
+  kIfLt,
+  kIfGe,
+  kIfLe,
+  kIfEq,
+  kIfNe,
+  kSeqEq,       // e1 === e2 (sequence equality; the paper's abstract `equality`)
+  kImply,       // e1 => e2
+  kSequence,    // e1 ; e2
+  kDiscard,     // e ;       (evaluate for side effects only)
+  kDefine,      // a := e    (text = alias name)
+  kWith,        // e1 . e2
+  kArrowWith,   // e1 -> e2
+  kDfs,         // e1 --> e2
+  kBfs,         // e1 -->> e2 (extension)
+  kSelect,      // e1[[e2]]  (kids[0] = sequence, kids[1] = indices)
+  kCount,       // #/e
+  kSum,         // +/e
+  kAll,         // &&/e
+  kAny,         // ||/e
+  kUntil,       // e @ p
+  kIndexAlias,  // e # name  (text = alias name)
+  kIf,          // if (e1) e2 [else e3]
+  kWhile,       // while (e1) e2
+  kFor,         // for (e1; e2; e3) e4
+  kCall,        // kids[0] = callee, kids[1..] = args
+  kCast,        // (type)e
+  kSizeofType,  // sizeof(type)
+  kSizeofExpr,  // sizeof e
+  kDecl,        // int i, *p;  (declares debugger variables as aliases)
+  kFrames,      // frames() builtin: generates the active frames (extension)
+
+  // C unary operators.
+  kIndex,    // e1[e2]
+  kDeref,    // *e
+  kAddrOf,   // &e
+  kNeg,      // -e
+  kPos,      // +e
+  kBitNot,   // ~e
+  kNot,      // !e
+  kPreInc,
+  kPreDec,
+  kPostInc,
+  kPostDec,
+
+  // C binary operators.
+  kMul,
+  kDiv,
+  kMod,
+  kAdd,
+  kSub,
+  kShl,
+  kShr,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,
+  kNe,
+  kBitAnd,
+  kBitXor,
+  kBitOr,
+  kAndAnd,
+  kOrOr,
+  kCond,  // e1 ? e2 : e3
+
+  // Assignments.
+  kAssign,
+  kMulEq,
+  kDivEq,
+  kModEq,
+  kAddEq,
+  kSubEq,
+  kShlEq,
+  kShrEq,
+  kAndEq,
+  kXorEq,
+  kOrEq,
+};
+
+const char* OpName(Op op);
+
+// A syntactic type name, resolved against the debugger's type tables at
+// evaluation time (DUEL type-checks during evaluation, not compilation).
+struct TypeSpec {
+  enum class Base {
+    kVoid,
+    kBool,
+    kChar,
+    kSChar,
+    kUChar,
+    kShort,
+    kUShort,
+    kInt,
+    kUInt,
+    kLong,
+    kULong,
+    kLongLong,
+    kULongLong,
+    kFloat,
+    kDouble,
+    kStruct,
+    kUnion,
+    kEnum,
+    kTypedef,
+  };
+
+  Base base = Base::kInt;
+  std::string tag;               // struct/union/enum tag or typedef name
+  int pointer_depth = 0;
+  std::vector<size_t> array_dims;
+
+  std::string ToString() const;
+};
+
+// One declarator of a DUEL declaration, e.g. the `*p` of `int i, *p;`.
+struct DeclItem {
+  TypeSpec type;
+  std::string name;
+};
+
+struct Node {
+  Op op;
+  SourceRange range;
+  int id = -1;  // dense index used by evaluator state tables
+
+  std::vector<std::unique_ptr<Node>> kids;
+
+  // Payloads (used per op; see parser).
+  uint64_t int_value = 0;
+  bool is_unsigned = false;
+  bool is_long = false;
+  double float_value = 0;
+  std::string text;  // name / string body / alias name
+  TypeSpec type_spec;
+  std::vector<DeclItem> decls;
+
+  // Filled by the optional prebind pass (see prebind.h): a kName resolved to
+  // a target variable at "compile time".
+  bool prebound = false;
+  target::TypeRef prebound_type;
+  uint64_t prebound_addr = 0;
+
+  Node(Op o, SourceRange r) : op(o), range(r) {}
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+// Renders the AST in the paper's LISP-like notation, e.g.
+//   (plus (multiply (name "a") (constant 5)) (indirect (name "b")))
+std::string DumpAst(const Node& n);
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_AST_H_

@@ -1,0 +1,52 @@
+// Evaluation engine interface.
+//
+// DUEL's evaluator produces one value per call ("Each call to eval produces
+// one of the values"). This repo implements the scheme twice:
+//
+//  * eval_sm.cc — Engine A, the paper's explicit state machine: per-node
+//    state/value slots, resumed by re-entering eval(). This is the faithful
+//    reproduction of the Semantics section.
+//  * eval_coro.cc — Engine B, C++20 coroutines (the "yield e" pseudo-code,
+//    made real). The paper notes "more efficient implementations of
+//    generators are possible [14]"; E5 benchmarks the two.
+//
+// Both run over the same EvalContext and are property-tested to produce
+// identical value sequences.
+
+#ifndef DUEL_DUEL_EVAL_H_
+#define DUEL_DUEL_EVAL_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/duel/ast.h"
+#include "src/duel/evalctx.h"
+#include "src/duel/value.h"
+
+namespace duel {
+
+class EvalEngine {
+ public:
+  virtual ~EvalEngine() = default;
+
+  // Prepares evaluation of `root` (which must outlive the run). `num_nodes`
+  // is ParseResult::num_nodes, used to size per-node state tables.
+  virtual void Start(const Node& root, int num_nodes) = 0;
+
+  // Produces the next value of the root expression, or nullopt when the
+  // sequence is exhausted. Throws DuelError on evaluation errors.
+  virtual std::optional<Value> Next() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+enum class EngineKind {
+  kStateMachine,  // Engine A (paper-faithful; the default)
+  kCoroutine,     // Engine B
+};
+
+std::unique_ptr<EvalEngine> MakeEngine(EngineKind kind, EvalContext& ctx);
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_EVAL_H_

@@ -1,0 +1,675 @@
+// Engine B: evaluation with C++20 coroutine generators.
+//
+// This is the paper's pseudo-code ("yield e ... preserves enough information
+// for the computation to resume after the yield statement") implemented with
+// real coroutines. A hard invariant shared with Engine A: the global
+// name-resolution stack is restored before every suspension, so scopes never
+// leak across yields (see the with/expansion cases).
+
+#include "src/duel/eval.h"
+#include "src/duel/eval_util.h"
+#include "src/duel/output.h"
+#include "src/support/generator.h"
+#include "src/support/strings.h"
+
+namespace duel {
+
+namespace {
+
+using target::TypeKind;
+
+class CoroEngine final : public EvalEngine {
+ public:
+  explicit CoroEngine(EvalContext& ctx) : ctx_(&ctx) {}
+
+  void Start(const Node& root, int /*num_nodes*/) override {
+    root_ = &root;
+    gen_ = Gen(root);
+  }
+
+  std::optional<Value> Next() override {
+    ctx_->Step();
+    std::optional<Value> v = gen_.Next();
+    if (!v.has_value() && root_ != nullptr) {
+      // The paper's restart rule: "After NOVALUE is returned, the next call
+      // to eval re-evaluates the node." Re-arm so another drive starts over.
+      gen_ = Gen(*root_);
+    }
+    return v;
+  }
+
+  const char* name() const override { return "coroutine"; }
+
+ private:
+  Generator<Value> Gen(const Node& n);
+  Generator<std::vector<Value>> ArgCombos(const Node& n, size_t idx);
+
+  std::optional<Value> Pull(Generator<Value>& g) {
+    ctx_->Step();
+    return g.Next();
+  }
+
+  EvalContext* ctx_;
+  const Node* root_ = nullptr;
+  Generator<Value> gen_;
+};
+
+Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-function-size)
+  EvalContext& ctx = *ctx_;
+  switch (n.op) {
+    // --- leaves ---------------------------------------------------------
+    case Op::kIntConst:
+    case Op::kCharConst:
+    case Op::kFloatConst:
+      co_yield ConstValue(ctx, n);
+      break;
+    case Op::kStringConst:
+      co_yield StringValue(ctx, n);
+      break;
+    case Op::kName:
+      co_yield NameValue(ctx, n);
+      break;
+    case Op::kUnderscore:
+      co_yield ctx.Underscore(n.range);
+      break;
+    case Op::kDecl:
+      ExecDecl(ctx, n);
+      break;
+    case Op::kSizeofType:
+      co_yield SizeofTypeValue(ctx, n);
+      break;
+    case Op::kFrames: {
+      size_t frames = ctx.backend().NumFrames();
+      for (size_t i = 0; i < frames; ++i) {
+        co_yield Value::FrameHandle(i, ctx.MakeSym(StrPrintf("frame(%zu)", i), kPrecPostfix));
+      }
+      break;
+    }
+
+    // --- display override -------------------------------------------------
+    case Op::kBrace: {
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g)) {
+        Value v = *u;
+        if (ctx.sym_on()) {
+          v.set_sym(Sym::Plain(FormatValue(ctx, v)));
+        }
+        co_yield v;
+      }
+      break;
+    }
+
+    // --- generators --------------------------------------------------------
+    case Op::kTo: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        int64_t lo = ctx.ToI64(*u);
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2)) {
+          int64_t hi = ctx.ToI64(*v);
+          for (int64_t i = lo; i <= hi; ++i) {
+            ctx.Step();
+            co_yield MakeIntValue(ctx, i);
+          }
+        }
+      }
+      break;
+    }
+    case Op::kToPrefix: {  // ..e == 0..e-1
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g)) {
+        int64_t hi = ctx.ToI64(*u);
+        for (int64_t i = 0; i < hi; ++i) {
+          ctx.Step();
+          co_yield MakeIntValue(ctx, i);
+        }
+      }
+      break;
+    }
+    case Op::kToOpen: {  // e.. : unbounded (fuel-limited)
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g)) {
+        for (int64_t i = ctx.ToI64(*u);; ++i) {
+          ctx.Step();
+          co_yield MakeIntValue(ctx, i);
+        }
+      }
+      break;
+    }
+    case Op::kAlternate: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        co_yield *u;
+      }
+      auto g2 = Gen(*n.kids[1]);
+      while (auto v = Pull(g2)) {
+        co_yield *v;
+      }
+      break;
+    }
+
+    // --- filters ------------------------------------------------------------
+    case Op::kIfGt:
+    case Op::kIfLt:
+    case Op::kIfGe:
+    case Op::kIfLe:
+    case Op::kIfEq:
+    case Op::kIfNe: {
+      Op cmp = FilterToComparison(n.op);
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2)) {
+          if (ApplyComparison(ctx, cmp, *u, *v, n.range)) {
+            co_yield *u;  // the filter returns its left operand
+          }
+        }
+      }
+      break;
+    }
+
+    // --- sequence manipulators ----------------------------------------------
+    case Op::kImply: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2)) {
+          co_yield *v;
+        }
+      }
+      break;
+    }
+    case Op::kSequence: {
+      auto g1 = Gen(*n.kids[0]);
+      while (Pull(g1)) {
+      }
+      auto g2 = Gen(*n.kids[1]);
+      while (auto v = Pull(g2)) {
+        co_yield *v;
+      }
+      break;
+    }
+    case Op::kDiscard: {
+      auto g = Gen(*n.kids[0]);
+      while (Pull(g)) {
+      }
+      break;
+    }
+    case Op::kDefine: {
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g)) {
+        ctx.aliases().Set(n.text, *u);
+        Value out = *u;
+        out.set_sym(ctx.MakeSym(n.text));
+        co_yield out;
+      }
+      break;
+    }
+    case Op::kIndexAlias: {
+      auto g = Gen(*n.kids[0]);
+      uint64_t i = 0;
+      while (auto u = Pull(g)) {
+        ctx.aliases().Set(n.text, MakeIntValue(ctx, static_cast<int64_t>(i)));
+        co_yield *u;
+        ++i;
+      }
+      break;
+    }
+    case Op::kSelect: {
+      // kids[0] = sequence, kids[1] = indices. The cache avoids re-evaluating
+      // the sequence ("the actual implementation of select avoids the
+      // re-evaluation of e2 when possible"). Indices are 0-based.
+      auto seq = Gen(*n.kids[0]);
+      std::vector<Value> cache;
+      bool exhausted = false;
+      auto gi = Gen(*n.kids[1]);
+      while (auto iv = Pull(gi)) {
+        int64_t want = ctx.ToI64(*iv);
+        if (want < 0) {
+          continue;
+        }
+        while (!exhausted && cache.size() <= static_cast<uint64_t>(want)) {
+          if (auto v = Pull(seq)) {
+            cache.push_back(*v);
+          } else {
+            exhausted = true;
+          }
+        }
+        if (static_cast<uint64_t>(want) < cache.size()) {
+          Value out = cache[static_cast<size_t>(want)];
+          if (ctx.sym_on()) {
+            out.set_sym(out.sym().SelectedAt(static_cast<uint64_t>(want)));
+          }
+          co_yield out;
+        }
+      }
+      break;
+    }
+    case Op::kUntil: {
+      bool match = UntilMatchMode(*n.kids[1]);
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g)) {
+        if (match) {
+          if (UntilEquals(ctx, *u, *n.kids[1])) {
+            break;
+          }
+        } else {
+          WithScope scope = ExpandScope(*u);
+          ctx.scopes().Push(scope);
+          bool hit = false;
+          try {
+            auto gp = Gen(*n.kids[1]);
+            while (auto p = gp.Next()) {
+              ctx.Step();
+              if (ctx.Truthy(*p)) {
+                hit = true;
+                break;
+              }
+            }
+          } catch (...) {
+            ctx.scopes().Pop();
+            throw;
+          }
+          ctx.scopes().Pop();
+          if (hit) {
+            break;
+          }
+        }
+        co_yield *u;
+      }
+      break;
+    }
+
+    // --- reductions -----------------------------------------------------------
+    case Op::kCount: {
+      auto g = Gen(*n.kids[0]);
+      int64_t count = 0;
+      while (Pull(g)) {
+        ++count;
+      }
+      co_yield Value::Int(ctx.types().Int(), count, Sym::None());
+      break;
+    }
+    case Op::kSum: {
+      auto g = Gen(*n.kids[0]);
+      std::optional<Value> acc;
+      while (auto u = Pull(g)) {
+        if (!acc.has_value()) {
+          acc = ctx.Rvalue(*u);
+        } else {
+          acc = ApplyBinary(ctx, Op::kAdd, *acc, *u, n.range);
+        }
+      }
+      if (acc.has_value()) {
+        acc->set_sym(Sym::None());
+        co_yield *acc;
+      } else {
+        co_yield Value::Int(ctx.types().Int(), 0, Sym::None());
+      }
+      break;
+    }
+    case Op::kAll: {
+      auto g = Gen(*n.kids[0]);
+      int64_t all = 1;
+      while (auto u = Pull(g)) {
+        if (!ctx.Truthy(*u)) {
+          all = 0;
+          break;
+        }
+      }
+      co_yield Value::Int(ctx.types().Int(), all, Sym::None());
+      break;
+    }
+    case Op::kAny: {
+      auto g = Gen(*n.kids[0]);
+      int64_t any = 0;
+      while (auto u = Pull(g)) {
+        if (ctx.Truthy(*u)) {
+          any = 1;
+          break;
+        }
+      }
+      co_yield Value::Int(ctx.types().Int(), any, Sym::None());
+      break;
+    }
+    case Op::kSeqEq: {
+      auto g1 = Gen(*n.kids[0]);
+      auto g2 = Gen(*n.kids[1]);
+      int64_t equal = 1;
+      for (;;) {
+        auto u = Pull(g1);
+        auto v = Pull(g2);
+        if (!u.has_value() || !v.has_value()) {
+          equal = (u.has_value() == v.has_value()) ? equal : 0;
+          break;
+        }
+        if (!ApplyComparison(ctx, Op::kEq, *u, *v, n.range)) {
+          equal = 0;
+          break;
+        }
+      }
+      co_yield Value::Int(ctx.types().Int(), equal, Sym::None());
+      break;
+    }
+
+    // --- control expressions -----------------------------------------------
+    case Op::kIf:
+    case Op::kCond: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        if (ctx.Truthy(*u)) {
+          auto g2 = Gen(*n.kids[1]);
+          while (auto v = Pull(g2)) {
+            co_yield *v;
+          }
+        } else if (n.kids.size() > 2) {
+          auto g3 = Gen(*n.kids[2]);
+          while (auto v = Pull(g3)) {
+            co_yield *v;
+          }
+        }
+      }
+      break;
+    }
+    case Op::kWhile: {
+      for (;;) {
+        bool go = true;
+        auto g1 = Gen(*n.kids[0]);
+        while (auto u = Pull(g1)) {
+          if (!ctx.Truthy(*u)) {
+            go = false;
+            break;
+          }
+        }
+        if (!go) {
+          break;
+        }
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2)) {
+          co_yield *v;
+        }
+      }
+      break;
+    }
+    case Op::kFor: {
+      {
+        auto gi = Gen(*n.kids[0]);
+        while (Pull(gi)) {
+        }
+      }
+      for (;;) {
+        bool go = true;
+        auto gc = Gen(*n.kids[1]);
+        while (auto u = Pull(gc)) {
+          if (!ctx.Truthy(*u)) {
+            go = false;
+            break;
+          }
+        }
+        if (!go) {
+          break;
+        }
+        auto gb = Gen(*n.kids[3]);
+        while (auto v = Pull(gb)) {
+          co_yield *v;
+        }
+        auto gs = Gen(*n.kids[2]);
+        while (Pull(gs)) {
+        }
+      }
+      break;
+    }
+    case Op::kAndAnd: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        if (ctx.Truthy(*u)) {
+          auto g2 = Gen(*n.kids[1]);
+          while (auto v = Pull(g2)) {
+            co_yield *v;
+          }
+        }
+      }
+      break;
+    }
+    case Op::kOrOr: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        if (ctx.Truthy(*u)) {
+          co_yield *u;
+        } else {
+          auto g2 = Gen(*n.kids[1]);
+          while (auto v = Pull(g2)) {
+            co_yield *v;
+          }
+        }
+      }
+      break;
+    }
+
+    // --- with / expansion ----------------------------------------------------
+    case Op::kWith:
+    case Op::kArrowWith: {
+      bool arrow = n.op == Op::kArrowWith;
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        WithScope scope{*u, arrow};
+        ctx.scopes().Push(scope);
+        auto g2 = Gen(*n.kids[1]);
+        bool pushed = true;
+        for (;;) {
+          std::optional<Value> v;
+          try {
+            ctx.Step();
+            v = g2.Next();
+          } catch (...) {
+            ctx.scopes().Pop();
+            throw;
+          }
+          if (!v.has_value()) {
+            break;
+          }
+          Value out = ComposeWithResult(ctx, *u, arrow, *v);
+          // Restore the stack before suspending so scopes never leak.
+          ctx.scopes().Pop();
+          pushed = false;
+          co_yield out;
+          ctx.scopes().Push(scope);
+          pushed = true;
+        }
+        if (pushed) {
+          ctx.scopes().Pop();
+        }
+      }
+      break;
+    }
+    case Op::kDfs:
+    case Op::kBfs: {
+      bool bfs = n.op == Op::kBfs;
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        ExpandState st;
+        if (ExpandAdmit(ctx, st, *u)) {
+          st.pending.push_back(*u);
+        }
+        while (!st.pending.empty()) {
+          ctx.Step();
+          Value x;
+          if (bfs) {
+            x = st.pending.front();
+            st.pending.pop_front();
+          } else {
+            x = st.pending.back();
+            st.pending.pop_back();
+          }
+          if (!ExpandReadable(ctx, x)) {
+            continue;  // invalid pointer terminates this path silently
+          }
+          std::vector<Value> children;
+          WithScope scope = ExpandScope(x);
+          ctx.scopes().Push(scope);
+          try {
+            auto g2 = Gen(*n.kids[1]);
+            while (auto w = g2.Next()) {
+              ctx.Step();
+              Value child = ComposeWithResult(ctx, x, true, *w);
+              if (ExpandAdmit(ctx, st, child)) {
+                children.push_back(std::move(child));
+              }
+            }
+          } catch (const MemoryFault&) {
+            // A fault while expanding ends this path (partial children kept).
+          } catch (...) {
+            ctx.scopes().Pop();
+            throw;
+          }
+          ctx.scopes().Pop();
+          if (bfs) {
+            for (Value& c : children) {
+              st.pending.push_back(std::move(c));
+            }
+          } else {
+            for (auto it = children.rbegin(); it != children.rend(); ++it) {
+              st.pending.push_back(std::move(*it));  // reverse: visit in order
+            }
+          }
+          co_yield x;
+        }
+      }
+      break;
+    }
+
+    // --- calls -----------------------------------------------------------------
+    case Op::kCall: {
+      const Node& callee = *n.kids[0];
+      if (callee.op != Op::kName) {
+        throw DuelError(ErrorKind::kType, "only direct calls of named functions are supported",
+                        n.range);
+      }
+      if (callee.text == "frames" && n.kids.size() == 1 &&
+          !ctx.backend().GetTargetFunction("frames").has_value()) {
+        size_t frames = ctx.backend().NumFrames();
+        for (size_t i = 0; i < frames; ++i) {
+          co_yield Value::FrameHandle(i,
+                                      ctx.MakeSym(StrPrintf("frame(%zu)", i), kPrecPostfix));
+        }
+        break;
+      }
+      auto combos = ArgCombos(n, 1);
+      while (auto args = combos.Next()) {
+        ctx.Step();
+        co_yield CallTarget(ctx, callee.text, *args, n.range);
+      }
+      break;
+    }
+
+    // --- C operators -----------------------------------------------------------
+    case Op::kIndex: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2)) {
+          co_yield ApplyIndex(ctx, *u, *v, n.range);
+        }
+      }
+      break;
+    }
+    case Op::kCast: {
+      TypeRef type = ctx.ResolveTypeSpec(n.type_spec, n.range);
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g)) {
+        co_yield ApplyCast(ctx, type, *u, n.range);
+      }
+      break;
+    }
+    case Op::kSizeofExpr: {
+      auto g = Gen(*n.kids[0]);
+      if (auto u = Pull(g)) {
+        // No decay: sizeof of an array lvalue is the whole array size.
+        co_yield Value::Int(ctx.types().ULong(),
+                            static_cast<int64_t>(u->type() ? u->type()->size() : 0),
+                            Sym::None());
+      }
+      break;
+    }
+    case Op::kNeg:
+    case Op::kPos:
+    case Op::kBitNot:
+    case Op::kNot:
+    case Op::kDeref:
+    case Op::kAddrOf: {
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g)) {
+        co_yield ApplyUnary(ctx, n.op, *u, n.range);
+      }
+      break;
+    }
+    case Op::kPreInc:
+    case Op::kPreDec:
+    case Op::kPostInc:
+    case Op::kPostDec: {
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g)) {
+        co_yield ApplyIncDec(ctx, n.op, *u, n.range);
+      }
+      break;
+    }
+    case Op::kAssign:
+    case Op::kMulEq:
+    case Op::kDivEq:
+    case Op::kModEq:
+    case Op::kAddEq:
+    case Op::kSubEq:
+    case Op::kShlEq:
+    case Op::kShrEq:
+    case Op::kAndEq:
+    case Op::kXorEq:
+    case Op::kOrEq: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2)) {
+          co_yield ApplyAssign(ctx, n.op, *u, *v, n.range);
+        }
+      }
+      break;
+    }
+    default: {  // remaining binary arithmetic/bitwise/comparison operators
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1)) {
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2)) {
+          co_yield ApplyBinary(ctx, n.op, *u, *v, n.range);
+        }
+      }
+      break;
+    }
+  }
+}
+
+Generator<std::vector<Value>> CoroEngine::ArgCombos(const Node& n, size_t idx) {
+  if (idx >= n.kids.size()) {
+    co_yield std::vector<Value>{};
+    co_return;
+  }
+  auto g = Gen(*n.kids[idx]);
+  while (auto u = Pull(g)) {
+    auto rest = ArgCombos(n, idx + 1);
+    while (auto tail = rest.Next()) {
+      std::vector<Value> combo;
+      combo.reserve(1 + tail->size());
+      combo.push_back(*u);
+      for (Value& t : *tail) {
+        combo.push_back(std::move(t));
+      }
+      co_yield std::move(combo);
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<EvalEngine> MakeCoroutineEngineImpl(EvalContext& ctx) {
+  return std::make_unique<CoroEngine>(ctx);
+}
+
+}  // namespace duel

@@ -1,0 +1,877 @@
+// Engine A: the paper's explicit state-machine evaluator.
+//
+// "To implement this version of eval, state information is added to each
+// node, and a distinguished value, NOVALUE, signals the end of a sequence of
+// values. The state field of a node is a non-negative integer that indicates
+// the progress of the evaluation of that node. ... After NOVALUE is
+// returned, the next call to eval re-evaluates the node."
+//
+// Differences from the paper's C sketch: NOVALUE is std::nullopt; per-node
+// state lives in a side table indexed by node id (the AST stays immutable);
+// and goto-label resumption is written as phase switches. Invariants kept on
+// every return path: (1) a node that returns nullopt has reset itself and
+// its descendants, and (2) the global name-resolution stack is exactly as it
+// was at entry (scopes are re-pushed on re-entry — see kWith).
+
+#include <cassert>
+
+#include "src/duel/eval.h"
+#include "src/duel/eval_util.h"
+#include "src/duel/output.h"
+#include "src/support/strings.h"
+
+namespace duel {
+
+namespace {
+
+using target::TypeKind;
+
+class SmEngine final : public EvalEngine {
+ public:
+  explicit SmEngine(EvalContext& ctx) : ctx_(&ctx) {}
+
+  void Start(const Node& root, int num_nodes) override {
+    root_ = &root;
+    states_.clear();
+    states_.resize(static_cast<size_t>(num_nodes));
+  }
+
+  std::optional<Value> Next() override {
+    if (root_ == nullptr) {
+      return std::nullopt;
+    }
+    return Eval(*root_);
+  }
+
+  const char* name() const override { return "state-machine"; }
+
+ private:
+  // Heavyweight per-node state, allocated only for the ops that need it.
+  struct Extra {
+    // select
+    std::vector<Value> cache;
+    bool exhausted = false;
+    // dfs / bfs
+    ExpandState expand;
+    // call
+    std::vector<Value> args;
+  };
+
+  struct NodeState {
+    int phase = 0;
+    Value value;       // the paper's n->value: saved left-operand value
+    int64_t lo = 0;    // range iteration
+    int64_t hi = 0;
+    int64_t i = 0;
+    uint64_t counter = 0;
+    std::unique_ptr<Extra> extra;
+  };
+
+  std::optional<Value> Eval(const Node& n);
+
+  NodeState& StateOf(const Node& n) { return states_[static_cast<size_t>(n.id)]; }
+
+  void Reset(const Node& n) { StateOf(n) = NodeState(); }
+
+  void ResetSubtree(const Node& n) {
+    Reset(n);
+    for (const NodePtr& k : n.kids) {
+      ResetSubtree(*k);
+    }
+  }
+
+  // Drives a child to exhaustion, discarding values.
+  void Drain(const Node& n) {
+    while (Eval(n).has_value()) {
+    }
+  }
+
+  // Drives a condition child: returns false (and resets the child) as soon
+  // as a zero value appears; true if all values were non-zero.
+  bool CondHolds(const Node& n) {
+    while (auto u = Eval(n)) {
+      if (!ctx_->Truthy(*u)) {
+        ResetSubtree(n);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  EvalContext* ctx_;
+  const Node* root_ = nullptr;
+  std::vector<NodeState> states_;
+};
+
+std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-function-size)
+  EvalContext& ctx = *ctx_;
+  ctx.Step();
+  NodeState& st = StateOf(n);
+
+  switch (n.op) {
+    // --- leaves: produce one value, then NOVALUE --------------------------
+    case Op::kIntConst:
+    case Op::kCharConst:
+    case Op::kFloatConst:
+      if (st.phase == 0) {
+        st.phase = 1;
+        return ConstValue(ctx, n);
+      }
+      st.phase = 0;
+      return std::nullopt;
+    case Op::kStringConst:
+      if (st.phase == 0) {
+        st.phase = 1;
+        return StringValue(ctx, n);
+      }
+      st.phase = 0;
+      return std::nullopt;
+    case Op::kName:
+      if (st.phase == 0) {
+        st.phase = 1;
+        return NameValue(ctx, n);
+      }
+      st.phase = 0;
+      return std::nullopt;
+    case Op::kUnderscore:
+      if (st.phase == 0) {
+        st.phase = 1;
+        return ctx.Underscore(n.range);
+      }
+      st.phase = 0;
+      return std::nullopt;
+    case Op::kSizeofType:
+      if (st.phase == 0) {
+        st.phase = 1;
+        return SizeofTypeValue(ctx, n);
+      }
+      st.phase = 0;
+      return std::nullopt;
+    case Op::kDecl:
+      ExecDecl(ctx, n);
+      return std::nullopt;
+
+    // --- one-operand passthroughs ------------------------------------------
+    case Op::kBrace: {
+      if (auto u = Eval(*n.kids[0])) {
+        Value v = *u;
+        if (ctx.sym_on()) {
+          v.set_sym(Sym::Plain(FormatValue(ctx, v)));
+        }
+        return v;
+      }
+      return std::nullopt;
+    }
+    case Op::kDefine: {
+      if (auto u = Eval(*n.kids[0])) {
+        ctx.aliases().Set(n.text, *u);
+        Value out = *u;
+        out.set_sym(ctx.MakeSym(n.text));
+        return out;
+      }
+      return std::nullopt;
+    }
+    case Op::kIndexAlias: {
+      if (auto u = Eval(*n.kids[0])) {
+        ctx.aliases().Set(n.text, MakeIntValue(ctx, static_cast<int64_t>(st.counter)));
+        st.counter++;
+        return u;
+      }
+      st.counter = 0;
+      return std::nullopt;
+    }
+    case Op::kNeg:
+    case Op::kPos:
+    case Op::kBitNot:
+    case Op::kNot:
+    case Op::kDeref:
+    case Op::kAddrOf: {
+      if (auto u = Eval(*n.kids[0])) {
+        return ApplyUnary(ctx, n.op, *u, n.range);
+      }
+      return std::nullopt;
+    }
+    case Op::kPreInc:
+    case Op::kPreDec:
+    case Op::kPostInc:
+    case Op::kPostDec: {
+      if (auto u = Eval(*n.kids[0])) {
+        return ApplyIncDec(ctx, n.op, *u, n.range);
+      }
+      return std::nullopt;
+    }
+    case Op::kCast: {
+      if (auto u = Eval(*n.kids[0])) {
+        TypeRef type = ctx.ResolveTypeSpec(n.type_spec, n.range);
+        return ApplyCast(ctx, type, *u, n.range);
+      }
+      return std::nullopt;
+    }
+    case Op::kSizeofExpr: {
+      if (st.phase == 0) {
+        auto u = Eval(*n.kids[0]);
+        if (!u.has_value()) {
+          return std::nullopt;
+        }
+        ResetSubtree(*n.kids[0]);  // only the first value's type matters
+        // No decay: sizeof of an array lvalue is the whole array size.
+        st.phase = 1;
+        return Value::Int(ctx.types().ULong(),
+                          static_cast<int64_t>(u->type() ? u->type()->size() : 0),
+                          Sym::None());
+      }
+      st.phase = 0;
+      return std::nullopt;
+    }
+
+    // --- ranges ------------------------------------------------------------
+    case Op::kTo: {
+      for (;;) {
+        switch (st.phase) {
+          case 0: {
+            auto u = Eval(*n.kids[0]);
+            if (!u.has_value()) {
+              st.phase = 0;
+              return std::nullopt;
+            }
+            st.lo = ctx.ToI64(*u);
+            st.phase = 1;
+            break;
+          }
+          case 1: {
+            auto v = Eval(*n.kids[1]);
+            if (!v.has_value()) {
+              st.phase = 0;
+              break;
+            }
+            st.hi = ctx.ToI64(*v);
+            st.i = st.lo;
+            st.phase = 2;
+            break;
+          }
+          default:
+            if (st.i <= st.hi) {
+              ctx.Step();
+              return MakeIntValue(ctx, st.i++);
+            }
+            st.phase = 1;
+            break;
+        }
+      }
+    }
+    case Op::kToPrefix: {
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.hi = ctx.ToI64(*u) - 1;
+          st.i = 0;
+          st.phase = 1;
+        }
+        if (st.i <= st.hi) {
+          ctx.Step();
+          return MakeIntValue(ctx, st.i++);
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kToOpen: {
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.i = ctx.ToI64(*u);
+          st.phase = 1;
+        }
+        ctx.Step();
+        return MakeIntValue(ctx, st.i++);
+      }
+    }
+
+    // --- alternation / imply / sequence --------------------------------------
+    case Op::kAlternate: {
+      if (st.phase == 0) {
+        if (auto u = Eval(*n.kids[0])) {
+          return u;
+        }
+        st.phase = 1;
+      }
+      if (auto v = Eval(*n.kids[1])) {
+        return v;
+      }
+      st.phase = 0;
+      return std::nullopt;
+    }
+    case Op::kImply: {
+      for (;;) {
+        if (st.phase == 0) {
+          if (!Eval(*n.kids[0]).has_value()) {
+            return std::nullopt;
+          }
+          st.phase = 1;
+        }
+        if (auto v = Eval(*n.kids[1])) {
+          return v;
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kSequence: {
+      if (st.phase == 0) {
+        Drain(*n.kids[0]);
+        st.phase = 1;
+      }
+      if (auto v = Eval(*n.kids[1])) {
+        return v;
+      }
+      st.phase = 0;
+      return std::nullopt;
+    }
+    case Op::kDiscard:
+      Drain(*n.kids[0]);
+      return std::nullopt;
+
+    // --- binary operators (the paper's bin0/bin1 scheme) ----------------------
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kLe:
+    case Op::kGe:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kBitAnd:
+    case Op::kBitXor:
+    case Op::kBitOr: {
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.value = std::move(*u);
+          st.phase = 1;
+        }
+        if (auto v = Eval(*n.kids[1])) {
+          return ApplyBinary(ctx, n.op, st.value, *v, n.range);
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kAssign:
+    case Op::kMulEq:
+    case Op::kDivEq:
+    case Op::kModEq:
+    case Op::kAddEq:
+    case Op::kSubEq:
+    case Op::kShlEq:
+    case Op::kShrEq:
+    case Op::kAndEq:
+    case Op::kXorEq:
+    case Op::kOrEq: {
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.value = std::move(*u);
+          st.phase = 1;
+        }
+        if (auto v = Eval(*n.kids[1])) {
+          return ApplyAssign(ctx, n.op, st.value, *v, n.range);
+        }
+        st.phase = 0;
+      }
+    }
+
+    // --- filters ---------------------------------------------------------------
+    case Op::kIfGt:
+    case Op::kIfLt:
+    case Op::kIfGe:
+    case Op::kIfLe:
+    case Op::kIfEq:
+    case Op::kIfNe: {
+      Op cmp = FilterToComparison(n.op);
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.value = std::move(*u);
+          st.phase = 1;
+        }
+        while (auto v = Eval(*n.kids[1])) {
+          if (ApplyComparison(ctx, cmp, st.value, *v, n.range)) {
+            return st.value;  // yields its left operand
+          }
+        }
+        st.phase = 0;
+      }
+    }
+
+    // --- logical / conditional ---------------------------------------------------
+    case Op::kAndAnd: {
+      for (;;) {
+        if (st.phase == 0) {
+          for (;;) {
+            auto u = Eval(*n.kids[0]);
+            if (!u.has_value()) {
+              return std::nullopt;
+            }
+            if (ctx.Truthy(*u)) {
+              break;
+            }
+          }
+          st.phase = 1;
+        }
+        if (auto v = Eval(*n.kids[1])) {
+          return v;
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kOrOr: {
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          if (ctx.Truthy(*u)) {
+            return u;  // stay in phase 0: next call pulls the next u
+          }
+          st.phase = 1;
+        }
+        if (auto v = Eval(*n.kids[1])) {
+          return v;
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kIf:
+    case Op::kCond: {
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          if (ctx.Truthy(*u)) {
+            st.phase = 1;
+          } else if (n.kids.size() > 2) {
+            st.phase = 2;
+          } else {
+            continue;  // no else: this condition value produces nothing
+          }
+        }
+        const Node& branch = st.phase == 1 ? *n.kids[1] : *n.kids[2];
+        if (auto v = Eval(branch)) {
+          return v;
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kWhile: {
+      for (;;) {
+        if (st.phase == 0) {
+          if (!CondHolds(*n.kids[0])) {
+            st.phase = 0;
+            return std::nullopt;
+          }
+          st.phase = 1;
+        }
+        if (auto v = Eval(*n.kids[1])) {
+          return v;
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kFor: {
+      for (;;) {
+        switch (st.phase) {
+          case 0:
+            Drain(*n.kids[0]);  // init
+            st.phase = 1;
+            break;
+          case 1:
+            if (!CondHolds(*n.kids[1])) {
+              st.phase = 0;
+              return std::nullopt;
+            }
+            st.phase = 2;
+            break;
+          case 2:
+            if (auto v = Eval(*n.kids[3])) {
+              return v;
+            }
+            st.phase = 3;
+            break;
+          default:
+            Drain(*n.kids[2]);  // step
+            st.phase = 1;
+            break;
+        }
+      }
+    }
+
+    // --- with / expansion -----------------------------------------------------
+    case Op::kWith:
+    case Op::kArrowWith: {
+      bool arrow = n.op == Op::kArrowWith;
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.value = std::move(*u);
+          st.phase = 1;
+        }
+        // Re-push the scope saved across calls; pop before every return.
+        ctx.scopes().Push(WithScope{st.value, arrow});
+        std::optional<Value> v;
+        try {
+          v = Eval(*n.kids[1]);
+        } catch (...) {
+          ctx.scopes().Pop();
+          throw;
+        }
+        ctx.scopes().Pop();
+        if (v.has_value()) {
+          return ComposeWithResult(ctx, st.value, arrow, *v);
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kDfs:
+    case Op::kBfs: {
+      bool bfs = n.op == Op::kBfs;
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            st.extra.reset();
+            return std::nullopt;
+          }
+          st.extra = std::make_unique<Extra>();
+          if (ExpandAdmit(ctx, st.extra->expand, *u)) {
+            st.extra->expand.pending.push_back(*u);
+          }
+          st.phase = 1;
+        }
+        ExpandState& ex = st.extra->expand;
+        while (!ex.pending.empty()) {
+          ctx.Step();
+          Value x;
+          if (bfs) {
+            x = ex.pending.front();
+            ex.pending.pop_front();
+          } else {
+            x = ex.pending.back();
+            ex.pending.pop_back();
+          }
+          if (!ExpandReadable(ctx, x)) {
+            continue;  // invalid pointer terminates this path silently
+          }
+          std::vector<Value> children;
+          ctx.scopes().Push(ExpandScope(x));
+          try {
+            while (auto w = Eval(*n.kids[1])) {
+              Value child = ComposeWithResult(ctx, x, true, *w);
+              if (ExpandAdmit(ctx, ex, child)) {
+                children.push_back(std::move(child));
+              }
+            }
+          } catch (const MemoryFault&) {
+            ResetSubtree(*n.kids[1]);  // abandoned mid-drive
+          } catch (...) {
+            ctx.scopes().Pop();
+            throw;
+          }
+          ctx.scopes().Pop();
+          if (bfs) {
+            for (Value& c : children) {
+              ex.pending.push_back(std::move(c));
+            }
+          } else {
+            for (auto it = children.rbegin(); it != children.rend(); ++it) {
+              ex.pending.push_back(std::move(*it));
+            }
+          }
+          return x;
+        }
+        st.phase = 0;
+      }
+    }
+
+    // --- sequence operators -----------------------------------------------------
+    case Op::kSelect: {
+      if (st.extra == nullptr) {
+        st.extra = std::make_unique<Extra>();
+      }
+      Extra& ex = *st.extra;
+      for (;;) {
+        auto iv = Eval(*n.kids[1]);
+        if (!iv.has_value()) {
+          if (!ex.exhausted) {
+            ResetSubtree(*n.kids[0]);  // sequence abandoned mid-drive
+          }
+          st.extra.reset();
+          return std::nullopt;
+        }
+        int64_t want = ctx.ToI64(*iv);
+        if (want < 0) {
+          continue;
+        }
+        while (!ex.exhausted && ex.cache.size() <= static_cast<uint64_t>(want)) {
+          if (auto v = Eval(*n.kids[0])) {
+            ex.cache.push_back(*v);
+          } else {
+            ex.exhausted = true;
+          }
+        }
+        if (static_cast<uint64_t>(want) < ex.cache.size()) {
+          Value out = ex.cache[static_cast<size_t>(want)];
+          if (ctx.sym_on()) {
+            out.set_sym(out.sym().SelectedAt(static_cast<uint64_t>(want)));
+          }
+          return out;
+        }
+      }
+    }
+    case Op::kUntil: {
+      bool match = UntilMatchMode(*n.kids[1]);
+      auto u = Eval(*n.kids[0]);
+      if (!u.has_value()) {
+        return std::nullopt;
+      }
+      bool stop;
+      if (match) {
+        stop = UntilEquals(ctx, *u, *n.kids[1]);
+      } else {
+        stop = false;
+        ctx.scopes().Push(ExpandScope(*u));
+        try {
+          while (auto p = Eval(*n.kids[1])) {
+            if (ctx.Truthy(*p)) {
+              stop = true;
+              ResetSubtree(*n.kids[1]);
+              break;
+            }
+          }
+        } catch (...) {
+          ctx.scopes().Pop();
+          throw;
+        }
+        ctx.scopes().Pop();
+      }
+      if (stop) {
+        ResetSubtree(*n.kids[0]);
+        return std::nullopt;
+      }
+      return u;
+    }
+
+    // --- reductions ------------------------------------------------------------
+    case Op::kCount: {
+      if (st.phase == 0) {
+        int64_t count = 0;
+        while (Eval(*n.kids[0]).has_value()) {
+          ++count;
+        }
+        st.phase = 1;
+        return Value::Int(ctx.types().Int(), count, Sym::None());
+      }
+      st.phase = 0;
+      return std::nullopt;
+    }
+    case Op::kSum: {
+      if (st.phase == 0) {
+        std::optional<Value> acc;
+        while (auto u = Eval(*n.kids[0])) {
+          if (!acc.has_value()) {
+            acc = ctx.Rvalue(*u);
+          } else {
+            acc = ApplyBinary(ctx, Op::kAdd, *acc, *u, n.range);
+          }
+        }
+        st.phase = 1;
+        if (acc.has_value()) {
+          acc->set_sym(Sym::None());
+          return *acc;
+        }
+        return Value::Int(ctx.types().Int(), 0, Sym::None());
+      }
+      st.phase = 0;
+      return std::nullopt;
+    }
+    case Op::kAll:
+    case Op::kAny: {
+      if (st.phase == 0) {
+        bool is_all = n.op == Op::kAll;
+        int64_t result = is_all ? 1 : 0;
+        while (auto u = Eval(*n.kids[0])) {
+          bool t = ctx.Truthy(*u);
+          if (is_all && !t) {
+            result = 0;
+            ResetSubtree(*n.kids[0]);
+            break;
+          }
+          if (!is_all && t) {
+            result = 1;
+            ResetSubtree(*n.kids[0]);
+            break;
+          }
+        }
+        st.phase = 1;
+        return Value::Int(ctx.types().Int(), result, Sym::None());
+      }
+      st.phase = 0;
+      return std::nullopt;
+    }
+    case Op::kSeqEq: {
+      if (st.phase == 0) {
+        int64_t equal = 1;
+        for (;;) {
+          auto u = Eval(*n.kids[0]);
+          auto v = Eval(*n.kids[1]);
+          if (!u.has_value() || !v.has_value()) {
+            if (u.has_value() != v.has_value()) {
+              equal = 0;
+              ResetSubtree(u.has_value() ? *n.kids[0] : *n.kids[1]);
+            }
+            break;
+          }
+          if (!ApplyComparison(ctx, Op::kEq, *u, *v, n.range)) {
+            equal = 0;
+            ResetSubtree(*n.kids[0]);
+            ResetSubtree(*n.kids[1]);
+            break;
+          }
+        }
+        st.phase = 1;
+        return Value::Int(ctx.types().Int(), equal, Sym::None());
+      }
+      st.phase = 0;
+      return std::nullopt;
+    }
+
+    // --- index and calls -----------------------------------------------------
+    case Op::kIndex: {
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.value = std::move(*u);
+          st.phase = 1;
+        }
+        if (auto v = Eval(*n.kids[1])) {
+          return ApplyIndex(ctx, st.value, *v, n.range);
+        }
+        st.phase = 0;
+      }
+    }
+    case Op::kCall: {
+      const Node& callee = *n.kids[0];
+      if (callee.op != Op::kName) {
+        throw DuelError(ErrorKind::kType, "only direct calls of named functions are supported",
+                        n.range);
+      }
+      if (callee.text == "frames" && n.kids.size() == 1 &&
+          !ctx.backend().GetTargetFunction("frames").has_value()) {
+        size_t frames = ctx.backend().NumFrames();
+        if (st.counter < frames) {
+          size_t i = st.counter++;
+          return Value::FrameHandle(i, ctx.MakeSym(StrPrintf("frame(%zu)", i), kPrecPostfix));
+        }
+        st.counter = 0;
+        return std::nullopt;
+      }
+      size_t nargs = n.kids.size() - 1;
+      if (st.phase == 0) {
+        st.extra = std::make_unique<Extra>();
+        st.extra->args.resize(nargs);
+        for (size_t i = 0; i < nargs; ++i) {
+          auto u = Eval(*n.kids[i + 1]);
+          if (!u.has_value()) {
+            for (size_t j = 0; j < nargs; ++j) {
+              ResetSubtree(*n.kids[j + 1]);
+            }
+            st.extra.reset();
+            return std::nullopt;  // some argument has an empty sequence
+          }
+          st.extra->args[i] = *u;
+        }
+        st.phase = 1;
+        return CallTarget(ctx, callee.text, st.extra->args, n.range);
+      }
+      // Advance the rightmost argument that still has values (odometer).
+      for (size_t i = nargs; i-- > 0;) {
+        if (auto u = Eval(*n.kids[i + 1])) {
+          st.extra->args[i] = *u;
+          bool ok = true;
+          for (size_t j = i + 1; j < nargs; ++j) {
+            auto v = Eval(*n.kids[j + 1]);
+            if (!v.has_value()) {
+              ok = false;  // a restarted generator came up empty
+              break;
+            }
+            st.extra->args[j] = *v;
+          }
+          if (!ok) {
+            break;
+          }
+          return CallTarget(ctx, callee.text, st.extra->args, n.range);
+        }
+      }
+      st.phase = 0;
+      st.extra.reset();
+      return std::nullopt;
+    }
+
+    case Op::kFrames: {
+      size_t frames = ctx.backend().NumFrames();
+      if (st.counter < frames) {
+        size_t i = st.counter++;
+        return Value::FrameHandle(i, ctx.MakeSym(StrPrintf("frame(%zu)", i), kPrecPostfix));
+      }
+      st.counter = 0;
+      return std::nullopt;
+    }
+  }
+  throw DuelError(ErrorKind::kInternal,
+                  StrPrintf("state-machine engine: unhandled op %s", OpName(n.op)));
+}
+
+}  // namespace
+
+std::unique_ptr<EvalEngine> MakeStateMachineEngineImpl(EvalContext& ctx) {
+  return std::make_unique<SmEngine>(ctx);
+}
+
+std::unique_ptr<EvalEngine> MakeCoroutineEngineImpl(EvalContext& ctx);
+
+std::unique_ptr<EvalEngine> MakeEngine(EngineKind kind, EvalContext& ctx) {
+  switch (kind) {
+    case EngineKind::kStateMachine:
+      return MakeStateMachineEngineImpl(ctx);
+    case EngineKind::kCoroutine:
+      return MakeCoroutineEngineImpl(ctx);
+  }
+  throw DuelError(ErrorKind::kInternal, "unknown engine kind");
+}
+
+}  // namespace duel

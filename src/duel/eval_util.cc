@@ -1,0 +1,250 @@
+#include "src/duel/eval_util.h"
+
+#include <cctype>
+#include <limits>
+
+#include "src/support/strings.h"
+#include "src/target/datum.h"
+
+namespace duel {
+
+using target::TypeKind;
+
+Value ConstValue(EvalContext& ctx, const Node& n) {
+  switch (n.op) {
+    case Op::kIntConst: {
+      TypeRef t;
+      if (n.is_unsigned) {
+        t = n.is_long || n.int_value > std::numeric_limits<uint32_t>::max()
+                ? ctx.types().ULong()
+                : ctx.types().UInt();
+      } else if (n.is_long || n.int_value > std::numeric_limits<int32_t>::max()) {
+        t = ctx.types().Long();
+      } else {
+        t = ctx.types().Int();
+      }
+      Sym sym = ctx.MakeSym(
+          n.is_unsigned ? StrPrintf("%llu", static_cast<unsigned long long>(n.int_value))
+                        : StrPrintf("%lld", static_cast<long long>(n.int_value)));
+      return Value::Int(std::move(t), static_cast<int64_t>(n.int_value), std::move(sym));
+    }
+    case Op::kCharConst: {
+      Sym sym = ctx.MakeSym(
+          StrPrintf("'%s'", EscapeChar(static_cast<char>(n.int_value)).c_str()));
+      return Value::Int(ctx.types().Char(), static_cast<int64_t>(n.int_value), std::move(sym));
+    }
+    case Op::kFloatConst: {
+      Sym sym = ctx.MakeSym(FormatDouble(n.float_value));
+      return Value::Double(ctx.types().Double(), n.float_value, std::move(sym));
+    }
+    default:
+      throw DuelError(ErrorKind::kInternal, "ConstValue on non-constant node");
+  }
+}
+
+Value StringValue(EvalContext& ctx, const Node& n) {
+  Addr addr = ctx.InternString(&n, n.text);
+  Sym sym = ctx.MakeSym("\"" + EscapeString(n.text) + "\"");
+  return Value::Pointer(ctx.types().PointerTo(ctx.types().Char()), addr, std::move(sym));
+}
+
+Value NameValue(EvalContext& ctx, const Node& n) {
+  if (n.prebound) {
+    ctx.counters().name_lookups++;  // counted, but resolved without a search
+    return Value::LV(n.prebound_type, n.prebound_addr, ctx.MakeSym(n.text));
+  }
+  if (auto v = ctx.LookupName(n.text)) {
+    return *v;
+  }
+  throw DuelError(ErrorKind::kName, "unknown name '" + n.text + "'", n.range);
+}
+
+Value MakeIntValue(EvalContext& ctx, int64_t v) {
+  TypeRef t = (v > std::numeric_limits<int32_t>::max() ||
+               v < std::numeric_limits<int32_t>::min())
+                  ? ctx.types().Long()
+                  : ctx.types().Int();
+  Sym sym = ctx.MakeSym(StrPrintf("%lld", static_cast<long long>(v)));
+  return Value::Int(std::move(t), v, std::move(sym));
+}
+
+void ExecDecl(EvalContext& ctx, const Node& n) {
+  for (const DeclItem& item : n.decls) {
+    TypeRef type = ctx.ResolveTypeSpec(item.type, n.range);
+    if (type->size() == 0 || !type->complete()) {
+      throw DuelError(ErrorKind::kType, "cannot declare a variable of incomplete type",
+                      n.range);
+    }
+    Addr addr = ctx.backend().AllocTargetSpace(type->size(), type->align());
+    std::vector<uint8_t> zeros(type->size(), 0);
+    ctx.backend().PutTargetBytes(addr, zeros.data(), zeros.size());
+    ctx.aliases().Set(item.name, Value::LV(type, addr, ctx.MakeSym(item.name)));
+  }
+}
+
+Value SizeofTypeValue(EvalContext& ctx, const Node& n) {
+  TypeRef type = ctx.ResolveTypeSpec(n.type_spec, n.range);
+  return Value::Int(ctx.types().ULong(), static_cast<int64_t>(type->size()),
+                    ctx.MakeSym("sizeof(" + n.type_spec.ToString() + ")"));
+}
+
+namespace {
+
+bool IsSimpleIdentifier(const std::string& s) {
+  if (s.empty() || (!isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')) {
+    return false;
+  }
+  for (char c : s) {
+    if (!isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Value ComposeWithResult(EvalContext& ctx, const Value& subject, bool arrow, const Value& inner) {
+  Value out = inner;
+  if (!ctx.sym_on()) {
+    return out;
+  }
+  ctx.counters().symbolic_builds++;
+  if (inner.sym().IsLazy() || subject.sym().IsLazy()) {
+    // `_` passthrough without materializing: the underscore returns the
+    // subject value, so the deferred nodes are shared.
+    if (inner.sym().deferred() != nullptr &&
+        inner.sym().deferred() == subject.sym().deferred()) {
+      return out;
+    }
+    const SymDeferred* d = inner.sym().deferred().get();
+    if (d != nullptr && d->k == SymDeferred::K::kText && IsSimpleIdentifier(d->text)) {
+      out.set_sym(subject.sym().WithMember(d->text, arrow));
+      return out;
+    }
+    auto node = std::make_shared<SymDeferred>();
+    node->k = SymDeferred::K::kWithExpr;
+    node->prec = kPrecPostfix;
+    node->arrow = arrow;
+    node->a = subject.sym().IsLazy()
+                  ? subject.sym().deferred()
+                  : Sym::LazyText(subject.sym().Text(), subject.sym().prec()).deferred();
+    node->b = inner.sym().IsLazy()
+                  ? inner.sym().deferred()
+                  : Sym::LazyText(inner.sym().Text(), inner.sym().prec()).deferred();
+    out.set_sym(Sym::FromDeferred(std::move(node)));
+    return out;
+  }
+  std::string inner_text = inner.sym().Text();
+  // `_` passthrough: the inner value IS the subject; keep its original sym.
+  if (inner_text == subject.sym().Text()) {
+    return out;
+  }
+  if (IsSimpleIdentifier(inner_text)) {
+    out.set_sym(subject.sym().WithMember(inner_text, arrow));
+    return out;
+  }
+  const char* sep = arrow ? "->" : ".";
+  out.set_sym(Sym::Plain(
+      subject.sym().TextAsOperand(kPrecPostfix) + sep + "(" + inner_text + ")",
+      kPrecPostfix));
+  return out;
+}
+
+Value CallTarget(EvalContext& ctx, const std::string& name, const std::vector<Value>& args,
+                 SourceRange range) {
+  if (!ctx.backend().GetTargetFunction(name).has_value()) {
+    throw DuelError(ErrorKind::kName, "unknown function '" + name + "'", range);
+  }
+  std::vector<target::RawDatum> data;
+  std::vector<std::string> arg_syms;
+  data.reserve(args.size());
+  for (const Value& a : args) {
+    Value r = ctx.Rvalue(a);
+    target::RawDatum d;
+    d.type = r.type();
+    std::span<const uint8_t> bytes = r.bytes();
+    d.bytes.assign(bytes.begin(), bytes.end());
+    data.push_back(std::move(d));
+    if (ctx.sym_on()) {
+      arg_syms.push_back(a.sym().Text());
+    }
+  }
+  target::RawDatum ret = ctx.backend().CallTargetFunc(name, data);
+  Sym sym = ctx.sym_on() ? ctx.MakeSym(name + "(" + Join(arg_syms, ", ") + ")", kPrecPostfix)
+                         : Sym::None();
+  if (ret.type == nullptr || ret.type->kind() == TypeKind::kVoid) {
+    return Value::RV(ctx.types().Void(), nullptr, 0, std::move(sym));
+  }
+  return Value::RV(ret.type, ret.bytes.data(), ret.bytes.size(), std::move(sym));
+}
+
+bool UntilMatchMode(const Node& pred) {
+  switch (pred.op) {
+    case Op::kIntConst:
+    case Op::kCharConst:
+    case Op::kFloatConst:
+      return true;
+    case Op::kNeg:
+      return UntilMatchMode(*pred.kids[0]);
+    default:
+      return false;
+  }
+}
+
+bool UntilEquals(EvalContext& ctx, const Value& u, const Node& pred) {
+  const Node* p = &pred;
+  bool neg = false;
+  while (p->op == Op::kNeg) {
+    neg = !neg;
+    p = p->kids[0].get();
+  }
+  Value lit = ConstValue(ctx, *p);
+  if (neg) {
+    lit = ApplyUnary(ctx, Op::kNeg, lit, pred.range);
+  }
+  return ApplyComparison(ctx, Op::kEq, u, lit, pred.range);
+}
+
+bool ExpandAdmit(EvalContext& ctx, ExpandState& st, const Value& v) {
+  if (++st.expanded > ctx.opts().max_expand_nodes) {
+    throw DuelError(ErrorKind::kLimit, "graph expansion exceeded the node limit");
+  }
+  uint64_t key = 0;
+  bool has_key = false;
+  if (v.type() != nullptr && v.type()->kind() == TypeKind::kPointer) {
+    Addr p = ctx.ToPtr(v);
+    if (p == 0) {
+      return false;  // "until a NULL pointer ... terminates the sequence"
+    }
+    key = p;
+    has_key = true;
+  } else if (v.is_lvalue()) {
+    key = v.addr();
+    has_key = true;
+  }
+  if (ctx.opts().cycle_detect && has_key) {
+    if (!st.seen.insert(key).second) {
+      return false;  // cycle (extension: the original did not handle cycles)
+    }
+  }
+  return true;
+}
+
+bool ExpandReadable(EvalContext& ctx, const Value& v) {
+  if (v.type() == nullptr || v.type()->kind() != TypeKind::kPointer) {
+    return true;
+  }
+  const TypeRef& pointee = v.type()->target();
+  size_t size = pointee->size() == 0 ? 1 : pointee->size();
+  return ctx.backend().ValidTargetBytes(ctx.ToPtr(v), size);
+}
+
+WithScope ExpandScope(const Value& x) {
+  WithScope s;
+  s.subject = x;
+  s.deref = x.type() != nullptr && x.type()->kind() == TypeKind::kPointer;
+  return s;
+}
+
+}  // namespace duel

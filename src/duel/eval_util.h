@@ -1,0 +1,69 @@
+// Node-semantics helpers shared by both evaluation engines, so the engines
+// differ only in how they suspend/resume — not in what each operator means.
+
+#ifndef DUEL_DUEL_EVAL_UTIL_H_
+#define DUEL_DUEL_EVAL_UTIL_H_
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "src/duel/apply.h"
+#include "src/duel/ast.h"
+#include "src/duel/evalctx.h"
+#include "src/duel/value.h"
+
+namespace duel {
+
+// Constants, string literals, names.
+Value ConstValue(EvalContext& ctx, const Node& n);   // kIntConst/kFloatConst/kCharConst
+Value StringValue(EvalContext& ctx, const Node& n);  // kStringConst (interned char*)
+Value NameValue(EvalContext& ctx, const Node& n);    // kName; throws on unknown names
+
+// An int-typed value whose symbolic is its own decimal text (the symbolic
+// value of a..b "is the current iteration value").
+Value MakeIntValue(EvalContext& ctx, int64_t v);
+
+// Executes a declaration node: allocates zeroed target space per declarator
+// and registers each name as an alias (declarations produce no values).
+void ExecDecl(EvalContext& ctx, const Node& n);
+
+// sizeof(type).
+Value SizeofTypeValue(EvalContext& ctx, const Node& n);
+
+// Sym composition for values produced inside a with scope (the `.`, `->`
+// and expansion operators): passes `_` through, extends ->member chains,
+// parenthesizes complex inner expressions.
+Value ComposeWithResult(EvalContext& ctx, const Value& subject, bool arrow, const Value& inner);
+
+// Target function call with already-evaluated arguments.
+Value CallTarget(EvalContext& ctx, const std::string& name, const std::vector<Value>& args,
+                 SourceRange range);
+
+// e@n: true if n is a literal (match mode) rather than a predicate.
+bool UntilMatchMode(const Node& pred);
+// Match-mode comparison of a produced value against the literal.
+bool UntilEquals(EvalContext& ctx, const Value& u, const Node& pred);
+
+// --- graph expansion (--> / -->>) -------------------------------------------
+
+struct ExpandState {
+  std::deque<Value> pending;     // stack (dfs) or queue (bfs)
+  std::set<uint64_t> seen;       // cycle-detection keys
+  uint64_t expanded = 0;
+};
+
+// Admission filter at push time: rejects null pointers, detected cycles, and
+// enforces the expansion bound.
+bool ExpandAdmit(EvalContext& ctx, ExpandState& st, const Value& v);
+
+// Validity filter at pop time: an unreadable (invalid) pointer terminates
+// its path silently, per the paper.
+bool ExpandReadable(EvalContext& ctx, const Value& v);
+
+// Builds the with-scope used to expand node `x` (pointers open *x).
+WithScope ExpandScope(const Value& x);
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_EVAL_UTIL_H_

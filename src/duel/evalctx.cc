@@ -1,0 +1,397 @@
+#include "src/duel/evalctx.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace duel {
+
+using target::TypeKind;
+
+void EvalContext::Step() {
+  if (++counters_.eval_steps > opts_.max_steps) {
+    throw DuelError(ErrorKind::kLimit,
+                    StrPrintf("evaluation exceeded %llu steps (unbounded generator?)",
+                              static_cast<unsigned long long>(opts_.max_steps)));
+  }
+}
+
+Value EvalContext::Rvalue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kRValue:
+    case Value::Kind::kFrame:
+      return v;
+    case Value::Kind::kLValue:
+      break;
+  }
+  const TypeRef& t = v.type();
+  if (t->kind() == TypeKind::kArray) {
+    // Array-to-pointer decay.
+    return Value::Pointer(types().PointerTo(t->target()), v.addr(), v.sym());
+  }
+  if (t->kind() == TypeKind::kFunction) {
+    return Value::Pointer(types().PointerTo(t), v.addr(), v.sym());
+  }
+  if (v.is_bitfield()) {
+    // Load the storage unit and extract the field.
+    uint64_t unit = 0;
+    size_t n = t->size();
+    try {
+      backend_->GetTargetBytes(v.addr(), &unit, n);
+    } catch (MemoryFault& mf) {
+      if (mf.symbolic_context().empty() && !v.sym().empty()) {
+        mf.set_symbolic_context(v.sym().Text());
+      }
+      throw;
+    }
+    uint64_t raw = (unit >> v.bit_offset()) & ((v.bit_width() >= 64)
+                                                   ? ~0ull
+                                                   : ((1ull << v.bit_width()) - 1));
+    int64_t val;
+    if (t->IsSignedInteger() && v.bit_width() < 64 &&
+        (raw & (1ull << (v.bit_width() - 1))) != 0) {
+      val = static_cast<int64_t>(raw | ~((1ull << v.bit_width()) - 1));
+    } else {
+      val = static_cast<int64_t>(raw);
+    }
+    return Value::Int(t, val, v.sym());
+  }
+  std::vector<uint8_t> buf(t->size());
+  try {
+    backend_->GetTargetBytes(v.addr(), buf.data(), buf.size());
+  } catch (MemoryFault& mf) {
+    // Attach the offending operand's symbolic value, for the paper-style
+    // "Illegal memory reference in x of x->y: x = lvalue 0x..." report.
+    if (mf.symbolic_context().empty() && !v.sym().empty()) {
+      mf.set_symbolic_context(v.sym().Text());
+    }
+    throw;
+  }
+  return Value::RV(t, buf.data(), buf.size(), v.sym());
+}
+
+namespace {
+
+uint64_t RawBitsOf(std::span<const uint8_t> bytes) {
+  uint64_t v = 0;
+  std::memcpy(&v, bytes.data(), std::min<size_t>(bytes.size(), 8));
+  return v;
+}
+
+}  // namespace
+
+int64_t EvalContext::ToI64(const Value& value) {
+  Value v = Rvalue(value);
+  const TypeRef& t = v.type();
+  if (t == nullptr) {
+    throw DuelError(ErrorKind::kType, "value has no type");
+  }
+  if (t->IsFloating()) {
+    return static_cast<int64_t>(ToF64(v));
+  }
+  if (!t->IsInteger() && t->kind() != TypeKind::kEnum && t->kind() != TypeKind::kPointer) {
+    throw DuelError(ErrorKind::kType, "cannot convert " + t->ToString() + " to an integer");
+  }
+  uint64_t bits = RawBitsOf(v.bytes());
+  size_t size = t->size();
+  if ((t->IsSignedInteger() || t->kind() == TypeKind::kEnum) && size < 8) {
+    uint64_t sign_bit = 1ull << (size * 8 - 1);
+    if (bits & sign_bit) {
+      bits |= ~((sign_bit << 1) - 1);
+    }
+  }
+  return static_cast<int64_t>(bits);
+}
+
+uint64_t EvalContext::ToU64(const Value& value) {
+  Value v = Rvalue(value);
+  if (v.type()->IsFloating()) {
+    return static_cast<uint64_t>(ToF64(v));
+  }
+  return static_cast<uint64_t>(ToI64(v));
+}
+
+double EvalContext::ToF64(const Value& value) {
+  Value v = Rvalue(value);
+  const TypeRef& t = v.type();
+  if (t->kind() == TypeKind::kFloat) {
+    float f;
+    std::memcpy(&f, v.bytes().data(), sizeof(f));
+    return f;
+  }
+  if (t->kind() == TypeKind::kDouble) {
+    double d;
+    std::memcpy(&d, v.bytes().data(), sizeof(d));
+    return d;
+  }
+  if (t->IsUnsignedInteger()) {
+    return static_cast<double>(static_cast<uint64_t>(ToI64(v)));
+  }
+  return static_cast<double>(ToI64(v));
+}
+
+Addr EvalContext::ToPtr(const Value& value) {
+  Value v = Rvalue(value);
+  if (v.type()->kind() != TypeKind::kPointer) {
+    throw DuelError(ErrorKind::kType, "expected a pointer, got " + v.type()->ToString());
+  }
+  return RawBitsOf(v.bytes());
+}
+
+bool EvalContext::Truthy(const Value& value) {
+  Value v = Rvalue(value);
+  const TypeRef& t = v.type();
+  if (t->IsFloating()) {
+    return ToF64(v) != 0.0;
+  }
+  if (t->IsInteger() || t->kind() == TypeKind::kEnum || t->kind() == TypeKind::kPointer) {
+    for (uint8_t b : v.bytes()) {
+      if (b != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+  throw DuelError(ErrorKind::kType, "value of type " + t->ToString() + " is not a condition");
+}
+
+void EvalContext::Store(const Value& lv, const Value& rv) {
+  if (!lv.is_lvalue()) {
+    throw DuelError(ErrorKind::kType, "assignment requires an lvalue" +
+                                          (lv.sym().empty() ? "" : ": " + lv.sym().Text()));
+  }
+  const TypeRef& t = lv.type();
+  if (lv.is_bitfield()) {
+    uint64_t unit = 0;
+    size_t n = t->size();
+    backend_->GetTargetBytes(lv.addr(), &unit, n);
+    uint64_t mask = (lv.bit_width() >= 64 ? ~0ull : (1ull << lv.bit_width()) - 1)
+                    << lv.bit_offset();
+    uint64_t nv = (static_cast<uint64_t>(ToI64(rv)) << lv.bit_offset()) & mask;
+    unit = (unit & ~mask) | nv;
+    backend_->PutTargetBytes(lv.addr(), &unit, n);
+    return;
+  }
+  // Scalar conversions; records require matching types.
+  if (t->IsRecord() || t->kind() == TypeKind::kArray) {
+    Value v = Rvalue(rv);
+    if (!target::TypeEquals(t, v.type())) {
+      throw DuelError(ErrorKind::kType, "cannot assign " + v.type()->ToString() + " to " +
+                                            t->ToString());
+    }
+    backend_->PutTargetBytes(lv.addr(), v.bytes().data(), v.bytes().size());
+    return;
+  }
+  uint8_t buf[8];
+  size_t n = t->size();
+  if (t->IsFloating()) {
+    if (t->kind() == TypeKind::kFloat) {
+      float f = static_cast<float>(ToF64(rv));
+      std::memcpy(buf, &f, sizeof(f));
+    } else {
+      double d = ToF64(rv);
+      std::memcpy(buf, &d, sizeof(d));
+    }
+  } else if (t->IsInteger() || t->kind() == TypeKind::kEnum || t->kind() == TypeKind::kPointer) {
+    int64_t x = t->kind() == TypeKind::kPointer ? static_cast<int64_t>(ToU64(rv)) : ToI64(rv);
+    std::memcpy(buf, &x, 8);
+  } else {
+    throw DuelError(ErrorKind::kType, "cannot assign to " + t->ToString());
+  }
+  backend_->PutTargetBytes(lv.addr(), buf, n);
+}
+
+std::optional<Value> EvalContext::LookupInScope(const WithScope& scope, const std::string& name) {
+  const Value& s = scope.subject;
+  if (s.is_frame()) {
+    for (const dbg::FrameVariable& v : backend_->FrameLocals(s.frame_index())) {
+      if (v.name == name) {
+        return Value::LV(v.type, v.addr, MakeSym(name));
+      }
+    }
+    return std::nullopt;
+  }
+  // Resolve the record base: a record lvalue/rvalue, or a pointer to record.
+  TypeRef t = s.type();
+  if (t == nullptr) {
+    return std::nullopt;
+  }
+  if (t->kind() == TypeKind::kPointer && t->target()->IsRecord()) {
+    const TypeRef& rec = t->target();
+    const target::Member* m = rec->FindMember(name);
+    if (m == nullptr) {
+      return std::nullopt;
+    }
+    Addr base = ToPtr(s);  // loads the pointer; faults surface at *use* below
+    if (base == 0) {
+      throw MemoryFault(0, rec->size(), "null pointer dereference");
+    }
+    Addr maddr = base + m->offset;
+    if (m->is_bitfield) {
+      return Value::BitfieldLV(m->type, maddr, m->bit_offset, m->bit_width, MakeSym(name));
+    }
+    return Value::LV(m->type, maddr, MakeSym(name));
+  }
+  if (t->IsRecord()) {
+    const target::Member* m = t->FindMember(name);
+    if (m == nullptr) {
+      return std::nullopt;
+    }
+    if (s.is_lvalue()) {
+      Addr maddr = s.addr() + m->offset;
+      if (m->is_bitfield) {
+        return Value::BitfieldLV(m->type, maddr, m->bit_offset, m->bit_width, MakeSym(name));
+      }
+      return Value::LV(m->type, maddr, MakeSym(name));
+    }
+    // Record rvalue: slice the member out of the byte image.
+    if (m->is_bitfield) {
+      uint64_t unit = 0;
+      std::memcpy(&unit, s.bytes().data() + m->offset,
+                  std::min<size_t>(m->type->size(), 8));
+      uint64_t raw = (unit >> m->bit_offset) &
+                     ((m->bit_width >= 64) ? ~0ull : ((1ull << m->bit_width) - 1));
+      return Value::Int(m->type, static_cast<int64_t>(raw), MakeSym(name));
+    }
+    return Value::RV(m->type, s.bytes().data() + m->offset, m->type->size(), MakeSym(name));
+  }
+  return std::nullopt;
+}
+
+std::optional<Value> EvalContext::LookupName(const std::string& name) {
+  counters_.name_lookups++;
+  // 1. with-scopes, innermost first.
+  for (size_t i = 0; i < scopes_.size(); ++i) {
+    if (auto v = LookupInScope(scopes_.At(i), name)) {
+      return v;
+    }
+  }
+  // 2. aliases.
+  if (const Value* a = aliases_.Find(name)) {
+    Value v = *a;
+    v.set_sym(MakeSym(name));
+    return v;
+  }
+  // 3. target variables (current frame, then globals — the backend applies
+  //    debugger scope rules).
+  std::optional<dbg::VariableInfo> info;
+  if (opts_.lookup_cache) {
+    auto it = lookup_cache_.find(name);
+    if (it != lookup_cache_.end()) {
+      info = it->second;
+    } else {
+      info = backend_->GetTargetVariable(name);
+      lookup_cache_[name] = info;
+    }
+  } else {
+    info = backend_->GetTargetVariable(name);
+  }
+  if (info.has_value()) {
+    return Value::LV(info->type, info->addr, MakeSym(name));
+  }
+  // 4. target functions.
+  if (auto fn = backend_->GetTargetFunction(name)) {
+    return Value::LV(fn->type, fn->addr, MakeSym(name));
+  }
+  // 5. enumeration constants (BLUE resolves to its enum's value).
+  if (auto e = backend_->GetTargetEnumerator(name)) {
+    return Value::Int(e->type, e->value, MakeSym(name));
+  }
+  return std::nullopt;
+}
+
+Value EvalContext::Underscore(SourceRange range) {
+  const WithScope* top = scopes_.Top();
+  if (top == nullptr) {
+    throw DuelError(ErrorKind::kName, "'_' used outside of a with scope ('.', '->', '-->')",
+                    range);
+  }
+  return top->subject;
+}
+
+Value EvalContext::MemberAccess(const Value& subject, const std::string& name, bool deref,
+                                SourceRange range) {
+  WithScope scope{subject, deref};
+  if (auto v = LookupInScope(scope, name)) {
+    return *v;
+  }
+  TypeRef t = subject.type();
+  throw DuelError(ErrorKind::kType,
+                  "no member '" + name + "' in " + (t ? t->ToString() : "<frame>"), range);
+}
+
+TypeRef EvalContext::ResolveTypeSpec(const TypeSpec& spec, SourceRange range) {
+  TypeRef base;
+  switch (spec.base) {
+    case TypeSpec::Base::kVoid: base = types().Void(); break;
+    case TypeSpec::Base::kBool: base = types().Bool(); break;
+    case TypeSpec::Base::kChar: base = types().Char(); break;
+    case TypeSpec::Base::kSChar: base = types().SChar(); break;
+    case TypeSpec::Base::kUChar: base = types().UChar(); break;
+    case TypeSpec::Base::kShort: base = types().Short(); break;
+    case TypeSpec::Base::kUShort: base = types().UShort(); break;
+    case TypeSpec::Base::kInt: base = types().Int(); break;
+    case TypeSpec::Base::kUInt: base = types().UInt(); break;
+    case TypeSpec::Base::kLong: base = types().Long(); break;
+    case TypeSpec::Base::kULong: base = types().ULong(); break;
+    case TypeSpec::Base::kLongLong: base = types().LongLong(); break;
+    case TypeSpec::Base::kULongLong: base = types().ULongLong(); break;
+    case TypeSpec::Base::kFloat: base = types().Float(); break;
+    case TypeSpec::Base::kDouble: base = types().Double(); break;
+    case TypeSpec::Base::kStruct:
+      base = backend_->GetTargetStruct(spec.tag);
+      if (base == nullptr) {
+        throw DuelError(ErrorKind::kType, "unknown struct tag '" + spec.tag + "'", range);
+      }
+      break;
+    case TypeSpec::Base::kUnion:
+      base = backend_->GetTargetUnion(spec.tag);
+      if (base == nullptr) {
+        throw DuelError(ErrorKind::kType, "unknown union tag '" + spec.tag + "'", range);
+      }
+      break;
+    case TypeSpec::Base::kEnum:
+      base = backend_->GetTargetEnum(spec.tag);
+      if (base == nullptr) {
+        throw DuelError(ErrorKind::kType, "unknown enum tag '" + spec.tag + "'", range);
+      }
+      break;
+    case TypeSpec::Base::kTypedef:
+      base = backend_->GetTargetTypedef(spec.tag);
+      if (base == nullptr) {
+        throw DuelError(ErrorKind::kType, "unknown type name '" + spec.tag + "'", range);
+      }
+      break;
+  }
+  for (int i = 0; i < spec.pointer_depth; ++i) {
+    base = types().PointerTo(base);
+  }
+  for (auto it = spec.array_dims.rbegin(); it != spec.array_dims.rend(); ++it) {
+    base = types().ArrayOf(base, *it);
+  }
+  return base;
+}
+
+Addr EvalContext::InternString(const void* node_key, const std::string& body) {
+  auto it = interned_strings_.find(node_key);
+  if (it != interned_strings_.end()) {
+    return it->second;
+  }
+  Addr addr = backend_->AllocTargetSpace(body.size() + 1, 1);
+  backend_->PutTargetBytes(addr, body.data(), body.size());
+  uint8_t nul = 0;
+  backend_->PutTargetBytes(addr + body.size(), &nul, 1);
+  interned_strings_[node_key] = addr;
+  return addr;
+}
+
+std::vector<std::string> AliasTable::Names() const {
+  std::vector<std::string> out;
+  out.reserve(aliases_.size());
+  for (const auto& [name, value] : aliases_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace duel

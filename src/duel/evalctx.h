@@ -1,0 +1,141 @@
+// Shared evaluation context: backend access, aliases, the with-stack,
+// rvalue/lvalue plumbing, name resolution, type-spec resolution, and fuel.
+// Both evaluation engines (state machine and coroutine) run over the same
+// context, which is what makes their results comparable.
+
+#ifndef DUEL_DUEL_EVALCTX_H_
+#define DUEL_DUEL_EVALCTX_H_
+
+#include <optional>
+#include <string>
+
+#include "src/dbg/backend.h"
+#include "src/duel/ast.h"
+#include "src/duel/scope.h"
+#include "src/duel/value.h"
+#include "src/support/counters.h"
+
+namespace duel {
+
+struct EvalOptions {
+  enum class SymMode {
+    kOff,   // no symbolic values computed (E3 ablation)
+    kOn,    // eager symbolic values (the original's behaviour)
+    kLazy,  // deferred derivation DAG, materialized only when printed (the
+            // paper's proposed optimization; E3 measures all three)
+  };
+  SymMode sym_mode = SymMode::kOn;
+
+  // Fuel: generator resumptions before the evaluation is aborted. Protects
+  // against runaways like `1..` driven to completion.
+  uint64_t max_steps = 50'000'000;
+
+  // Extension: detect cycles during --> expansion (the original did not).
+  bool cycle_detect = true;
+
+  // Bound on values a single --> node will expand (safety net when cycle
+  // detection is off).
+  uint64_t max_expand_nodes = 10'000'000;
+
+  // E4 ablation: cache target-variable lookups for the whole query.
+  bool lookup_cache = false;
+
+  // The paper's proposed optimization: bind eligible names to target
+  // variables at "compile time" (see prebind.h).
+  bool prebind = false;
+
+  // Cap on chars read when displaying char* values.
+  size_t max_string_display = 80;
+};
+
+class EvalContext {
+ public:
+  EvalContext(dbg::DebuggerBackend& backend, EvalOptions opts)
+      : backend_(&backend), opts_(opts) {}
+
+  dbg::DebuggerBackend& backend() { return *backend_; }
+  const EvalOptions& opts() const { return opts_; }
+  EvalOptions& opts() { return opts_; }
+  AliasTable& aliases() { return aliases_; }
+  ScopeStack& scopes() { return scopes_; }
+  EvalCounters& counters() { return counters_; }
+  target::TypeTable& types() { return backend_->Types(); }
+
+  bool sym_on() const { return opts_.sym_mode != EvalOptions::SymMode::kOff; }
+  Sym MakeSym(std::string text, int prec = kPrecPrimary) {
+    switch (opts_.sym_mode) {
+      case EvalOptions::SymMode::kOff:
+        return Sym::None();
+      case EvalOptions::SymMode::kLazy:
+        counters_.symbolic_builds++;
+        return Sym::LazyText(std::move(text), prec);
+      case EvalOptions::SymMode::kOn:
+        break;
+    }
+    counters_.symbolic_builds++;
+    return Sym::Plain(std::move(text), prec);
+  }
+
+  // Fuel accounting; throws DuelError(kLimit) when exhausted.
+  void Step();
+
+  // --- value plumbing -------------------------------------------------------
+
+  // Converts to an rvalue: loads lvalues from target memory (including
+  // bit-fields), decays arrays to pointers and functions to themselves.
+  Value Rvalue(const Value& v);
+
+  // Assigns rv (converted to lv's type) into the storage of lvalue lv.
+  void Store(const Value& lv, const Value& rv);
+
+  // Scalar readouts (load lvalue first if needed).
+  int64_t ToI64(const Value& v);
+  uint64_t ToU64(const Value& v);
+  double ToF64(const Value& v);
+  Addr ToPtr(const Value& v);
+  bool Truthy(const Value& v);
+
+  // --- names ----------------------------------------------------------------
+
+  // Full DUEL name resolution: with-scopes (innermost first), aliases, then
+  // target variables via the debugger interface; functions last. Returns
+  // nullopt when the name is unknown.
+  std::optional<Value> LookupName(const std::string& name);
+
+  // The innermost with-subject (`_`); throws if no with is active.
+  Value Underscore(SourceRange range);
+
+  // Member lookup within one with-scope; nullopt if the scope has no such
+  // member. Used by LookupName and by -> member access.
+  std::optional<Value> LookupInScope(const WithScope& scope, const std::string& name);
+
+  // Member access for e1.name / e1->name when e1 is a record or pointer to
+  // record. Throws DuelError(kType) on non-records, MemoryFault on bad
+  // pointers. `deref` selects the -> form.
+  Value MemberAccess(const Value& subject, const std::string& name, bool deref,
+                     SourceRange range);
+
+  // --- types ----------------------------------------------------------------
+
+  // Resolves a syntactic type-name against the debugger's type tables.
+  TypeRef ResolveTypeSpec(const TypeSpec& spec, SourceRange range);
+
+  void ClearLookupCache() { lookup_cache_.clear(); }
+
+  // Interns a string literal in target space, once per AST node (the paper's
+  // duel_alloc_target_space path).
+  Addr InternString(const void* node_key, const std::string& body);
+
+ private:
+  std::map<const void*, Addr> interned_strings_;
+  dbg::DebuggerBackend* backend_;
+  EvalOptions opts_;
+  AliasTable aliases_;
+  ScopeStack scopes_;
+  EvalCounters counters_;
+  std::map<std::string, std::optional<dbg::VariableInfo>> lookup_cache_;
+};
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_EVALCTX_H_

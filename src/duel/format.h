@@ -1,0 +1,20 @@
+// AST-to-source formatting: renders a parsed DUEL expression back into
+// concrete syntax. Round-trip property: parsing the rendered text yields an
+// identical AST (modulo node ids). Used for query history editing and for
+// presenting normalized queries in tools; property-tested in
+// tests/format_test.cc.
+
+#ifndef DUEL_DUEL_FORMAT_H_
+#define DUEL_DUEL_FORMAT_H_
+
+#include <string>
+
+#include "src/duel/ast.h"
+
+namespace duel {
+
+std::string FormatAst(const Node& n);
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_FORMAT_H_

@@ -1,0 +1,497 @@
+#include "src/duel/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "src/support/strings.h"
+
+namespace duel {
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEnd: return "end of expression";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "floating literal";
+    case Tok::kCharLit: return "character literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kLSelect: return "[[";
+    case Tok::kRSelect: return "]]";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kDot: return ".";
+    case Tok::kArrow: return "->";
+    case Tok::kExpand: return "-->";
+    case Tok::kExpandBfs: return "-->>";
+    case Tok::kInc: return "++";
+    case Tok::kDec: return "--";
+    case Tok::kAmp: return "&";
+    case Tok::kStar: return "*";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kTilde: return "~";
+    case Tok::kBang: return "!";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kLe: return "<=";
+    case Tok::kGe: return ">=";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kCaret: return "^";
+    case Tok::kPipe: return "|";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kQuestion: return "?";
+    case Tok::kColon: return ":";
+    case Tok::kSemi: return ";";
+    case Tok::kComma: return ",";
+    case Tok::kAssign: return "=";
+    case Tok::kStarEq: return "*=";
+    case Tok::kSlashEq: return "/=";
+    case Tok::kPercentEq: return "%=";
+    case Tok::kPlusEq: return "+=";
+    case Tok::kMinusEq: return "-=";
+    case Tok::kShlEq: return "<<=";
+    case Tok::kShrEq: return ">>=";
+    case Tok::kAmpEq: return "&=";
+    case Tok::kCaretEq: return "^=";
+    case Tok::kPipeEq: return "|=";
+    case Tok::kDotDot: return "..";
+    case Tok::kIfGt: return ">?";
+    case Tok::kIfLt: return "<?";
+    case Tok::kIfGe: return ">=?";
+    case Tok::kIfLe: return "<=?";
+    case Tok::kIfEq: return "==?";
+    case Tok::kIfNe: return "!=?";
+    case Tok::kSeqEq: return "===";
+    case Tok::kImply: return "=>";
+    case Tok::kDefine: return ":=";
+    case Tok::kCountOf: return "#/";
+    case Tok::kSumOf: return "+/";
+    case Tok::kAllOf: return "&&/";
+    case Tok::kAnyOf: return "||/";
+    case Tok::kAt: return "@";
+    case Tok::kHash: return "#";
+    case Tok::kUnderscore: return "_";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwWhile: return "while";
+    case Tok::kKwFor: return "for";
+    case Tok::kKwSizeof: return "sizeof";
+    case Tok::kKwStruct: return "struct";
+    case Tok::kKwUnion: return "union";
+    case Tok::kKwEnum: return "enum";
+    case Tok::kKwInt: return "int";
+    case Tok::kKwChar: return "char";
+    case Tok::kKwLong: return "long";
+    case Tok::kKwShort: return "short";
+    case Tok::kKwUnsigned: return "unsigned";
+    case Tok::kKwSigned: return "signed";
+    case Tok::kKwFloat: return "float";
+    case Tok::kKwDouble: return "double";
+    case Tok::kKwVoid: return "void";
+  }
+  return "?";
+}
+
+namespace {
+const std::map<std::string, Tok>& Keywords() {
+  static const std::map<std::string, Tok> kMap = {
+      {"if", Tok::kKwIf},         {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile},   {"for", Tok::kKwFor},
+      {"sizeof", Tok::kKwSizeof}, {"struct", Tok::kKwStruct},
+      {"union", Tok::kKwUnion},   {"enum", Tok::kKwEnum},
+      {"int", Tok::kKwInt},       {"char", Tok::kKwChar},
+      {"long", Tok::kKwLong},     {"short", Tok::kKwShort},
+      {"unsigned", Tok::kKwUnsigned}, {"signed", Tok::kKwSigned},
+      {"float", Tok::kKwFloat},   {"double", Tok::kKwDouble},
+      {"void", Tok::kKwVoid},
+  };
+  return kMap;
+}
+}  // namespace
+
+Lexer::Lexer(std::string_view input) : input_(input) {}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Take() { return pos_ < input_.size() ? input_[pos_++] : '\0'; }
+
+bool Lexer::TakeIf(char c) {
+  if (Peek() == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+Token Lexer::Make(Tok kind, size_t start) {
+  Token t;
+  t.kind = kind;
+  t.range = {start, pos_};
+  return t;
+}
+
+std::vector<Token> Lexer::LexAll() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = Next();
+    bool end = t.kind == Tok::kEnd;
+    out.push_back(std::move(t));
+    if (end) {
+      return out;
+    }
+  }
+}
+
+Token Lexer::Next() {
+  // Skip whitespace and "##" comments (gdb's "#" comment is taken; the
+  // original DUEL used "##"). Comments run to end of line so that multi-line
+  // inputs — scenario files, pasted programs — can be annotated per line.
+  for (;;) {
+    if (isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+      continue;
+    }
+    if (Peek() == '#' && Peek(1) == '#') {
+      while (Peek() != '\0' && Peek() != '\n') {
+        ++pos_;
+      }
+      continue;
+    }
+    break;
+  }
+  size_t start = pos_;
+  char c = Peek();
+  if (c == '\0') {
+    return Make(Tok::kEnd, start);
+  }
+  if (isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && isdigit(static_cast<unsigned char>(Peek(1))))) {
+    return LexNumber();
+  }
+  if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return LexIdent();
+  }
+  if (c == '\'') {
+    return LexCharLit();
+  }
+  if (c == '"') {
+    return LexStringLit();
+  }
+
+  Take();
+  switch (c) {
+    case '(': return Make(Tok::kLParen, start);
+    case ')': return Make(Tok::kRParen, start);
+    case '[':
+      if (TakeIf('[')) return Make(Tok::kLSelect, start);
+      return Make(Tok::kLBracket, start);
+    case ']':
+      // Always a single ']': "x[a[[b]]]" needs "]] ]" while "x[[a[b]]]" needs
+      // "] ]]", so the pairing is done by the parser (like C++'s ">>" fix).
+      return Make(Tok::kRBracket, start);
+    case '{': return Make(Tok::kLBrace, start);
+    case '}': return Make(Tok::kRBrace, start);
+    case '.':
+      if (TakeIf('.')) return Make(Tok::kDotDot, start);
+      return Make(Tok::kDot, start);
+    case '-':
+      if (Peek() == '-' && Peek(1) == '>') {
+        Take();
+        Take();
+        if (TakeIf('>')) return Make(Tok::kExpandBfs, start);
+        return Make(Tok::kExpand, start);
+      }
+      if (TakeIf('-')) return Make(Tok::kDec, start);
+      if (TakeIf('>')) return Make(Tok::kArrow, start);
+      if (TakeIf('=')) return Make(Tok::kMinusEq, start);
+      return Make(Tok::kMinus, start);
+    case '+':
+      if (TakeIf('+')) return Make(Tok::kInc, start);
+      if (TakeIf('=')) return Make(Tok::kPlusEq, start);
+      if (TakeIf('/')) return Make(Tok::kSumOf, start);
+      return Make(Tok::kPlus, start);
+    case '&':
+      if (Peek() == '&' && Peek(1) == '/') {
+        Take();
+        Take();
+        return Make(Tok::kAllOf, start);
+      }
+      if (TakeIf('&')) return Make(Tok::kAndAnd, start);
+      if (TakeIf('=')) return Make(Tok::kAmpEq, start);
+      return Make(Tok::kAmp, start);
+    case '|':
+      if (Peek() == '|' && Peek(1) == '/') {
+        Take();
+        Take();
+        return Make(Tok::kAnyOf, start);
+      }
+      if (TakeIf('|')) return Make(Tok::kOrOr, start);
+      if (TakeIf('=')) return Make(Tok::kPipeEq, start);
+      return Make(Tok::kPipe, start);
+    case '*':
+      if (TakeIf('=')) return Make(Tok::kStarEq, start);
+      return Make(Tok::kStar, start);
+    case '/':
+      if (TakeIf('=')) return Make(Tok::kSlashEq, start);
+      return Make(Tok::kSlash, start);
+    case '%':
+      if (TakeIf('=')) return Make(Tok::kPercentEq, start);
+      return Make(Tok::kPercent, start);
+    case '~': return Make(Tok::kTilde, start);
+    case '!':
+      if (Peek() == '=' && Peek(1) == '?') {
+        Take();
+        Take();
+        return Make(Tok::kIfNe, start);
+      }
+      if (TakeIf('=')) return Make(Tok::kNe, start);
+      return Make(Tok::kBang, start);
+    case '<':
+      if (Peek() == '<') {
+        Take();
+        if (TakeIf('=')) return Make(Tok::kShlEq, start);
+        return Make(Tok::kShl, start);
+      }
+      if (Peek() == '=' && Peek(1) == '?') {
+        Take();
+        Take();
+        return Make(Tok::kIfLe, start);
+      }
+      if (TakeIf('=')) return Make(Tok::kLe, start);
+      if (TakeIf('?')) return Make(Tok::kIfLt, start);
+      return Make(Tok::kLt, start);
+    case '>':
+      if (Peek() == '>') {
+        Take();
+        if (TakeIf('=')) return Make(Tok::kShrEq, start);
+        return Make(Tok::kShr, start);
+      }
+      if (Peek() == '=' && Peek(1) == '?') {
+        Take();
+        Take();
+        return Make(Tok::kIfGe, start);
+      }
+      if (TakeIf('=')) return Make(Tok::kGe, start);
+      if (TakeIf('?')) return Make(Tok::kIfGt, start);
+      return Make(Tok::kGt, start);
+    case '=':
+      if (Peek() == '=') {
+        Take();
+        if (TakeIf('=')) return Make(Tok::kSeqEq, start);
+        if (TakeIf('?')) return Make(Tok::kIfEq, start);
+        return Make(Tok::kEq, start);
+      }
+      if (TakeIf('>')) return Make(Tok::kImply, start);
+      return Make(Tok::kAssign, start);
+    case '?': return Make(Tok::kQuestion, start);
+    case ':':
+      if (TakeIf('=')) return Make(Tok::kDefine, start);
+      return Make(Tok::kColon, start);
+    case ';': return Make(Tok::kSemi, start);
+    case ',': return Make(Tok::kComma, start);
+    case '^':
+      if (TakeIf('=')) return Make(Tok::kCaretEq, start);
+      return Make(Tok::kCaret, start);
+    case '@': return Make(Tok::kAt, start);
+    case '#':
+      if (TakeIf('/')) return Make(Tok::kCountOf, start);
+      return Make(Tok::kHash, start);
+    default:
+      throw DuelError(ErrorKind::kLex, StrPrintf("unexpected character '%c'", c),
+                      {start, pos_});
+  }
+}
+
+Token Lexer::LexNumber() {
+  size_t start = pos_;
+  bool is_float = false;
+  std::string text;
+
+  if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+    text.push_back(Take());
+    text.push_back(Take());
+    while (isxdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Take());
+    }
+  } else {
+    while (isdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Take());
+    }
+    // A '.' starts a fraction only if NOT followed by another '.' (so that
+    // "1..3" lexes as 1 .. 3) and followed by a digit or end-of-number.
+    if (Peek() == '.' && Peek(1) != '.') {
+      is_float = true;
+      text.push_back(Take());
+      while (isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Take());
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      char sign = Peek(1);
+      if (isdigit(static_cast<unsigned char>(sign)) ||
+          ((sign == '+' || sign == '-') && isdigit(static_cast<unsigned char>(Peek(2))))) {
+        is_float = true;
+        text.push_back(Take());
+        if (Peek() == '+' || Peek() == '-') {
+          text.push_back(Take());
+        }
+        while (isdigit(static_cast<unsigned char>(Peek()))) {
+          text.push_back(Take());
+        }
+      }
+    }
+  }
+
+  Token t;
+  t.text = text;
+  if (is_float) {
+    if (Peek() == 'f' || Peek() == 'F') {
+      Take();
+    }
+    t.kind = Tok::kFloatLit;
+    t.float_value = strtod(text.c_str(), nullptr);
+  } else {
+    t.kind = Tok::kIntLit;
+    t.int_value = strtoull(text.c_str(), nullptr, 0);  // handles 0x and leading-0 octal
+    for (;;) {
+      if (Peek() == 'u' || Peek() == 'U') {
+        Take();
+        t.is_unsigned = true;
+      } else if (Peek() == 'l' || Peek() == 'L') {
+        Take();
+        t.is_long = true;
+      } else {
+        break;
+      }
+    }
+  }
+  t.range = {start, pos_};
+  return t;
+}
+
+Token Lexer::LexIdent() {
+  size_t start = pos_;
+  std::string text;
+  while (isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+    text.push_back(Take());
+  }
+  Token t;
+  t.range = {start, pos_};
+  if (text == "_") {
+    t.kind = Tok::kUnderscore;
+    t.text = text;
+    return t;
+  }
+  auto it = Keywords().find(text);
+  if (it != Keywords().end()) {
+    t.kind = it->second;
+    t.text = text;
+    return t;
+  }
+  t.kind = Tok::kIdent;
+  t.text = std::move(text);
+  return t;
+}
+
+char Lexer::LexEscape() {
+  char c = Take();
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case 'a': return '\a';
+    case 'b': return '\b';
+    case 'f': return '\f';
+    case 'v': return '\v';
+    case '0': case '1': case '2': case '3':
+    case '4': case '5': case '6': case '7': {
+      int v = c - '0';
+      for (int i = 0; i < 2 && Peek() >= '0' && Peek() <= '7'; ++i) {
+        v = v * 8 + (Take() - '0');
+      }
+      return static_cast<char>(v);
+    }
+    case 'x': {
+      int v = 0;
+      while (isxdigit(static_cast<unsigned char>(Peek()))) {
+        char h = Take();
+        v = v * 16 + (isdigit(static_cast<unsigned char>(h)) ? h - '0'
+                                                             : (tolower(h) - 'a' + 10));
+      }
+      return static_cast<char>(v);
+    }
+    case '\\': return '\\';
+    case '\'': return '\'';
+    case '"': return '"';
+    case '\0':
+      throw DuelError(ErrorKind::kLex, "unterminated escape", {pos_ - 1, pos_});
+    default:
+      return c;
+  }
+}
+
+Token Lexer::LexCharLit() {
+  size_t start = pos_;
+  Take();  // '
+  if (Peek() == '\0') {
+    throw DuelError(ErrorKind::kLex, "unterminated character literal", {start, pos_});
+  }
+  char value;
+  if (Peek() == '\\') {
+    Take();
+    value = LexEscape();
+  } else {
+    value = Take();
+  }
+  if (!TakeIf('\'')) {
+    throw DuelError(ErrorKind::kLex, "unterminated character literal", {start, pos_});
+  }
+  Token t;
+  t.kind = Tok::kCharLit;
+  t.int_value = static_cast<uint64_t>(static_cast<unsigned char>(value));
+  t.text = std::string(1, value);
+  t.range = {start, pos_};
+  return t;
+}
+
+Token Lexer::LexStringLit() {
+  size_t start = pos_;
+  Take();  // "
+  std::string body;
+  for (;;) {
+    char c = Peek();
+    if (c == '\0') {
+      throw DuelError(ErrorKind::kLex, "unterminated string literal", {start, pos_});
+    }
+    if (c == '"') {
+      Take();
+      break;
+    }
+    if (c == '\\') {
+      Take();
+      body.push_back(LexEscape());
+    } else {
+      body.push_back(Take());
+    }
+  }
+  Token t;
+  t.kind = Tok::kStringLit;
+  t.text = std::move(body);
+  t.range = {start, pos_};
+  return t;
+}
+
+}  // namespace duel

@@ -1,0 +1,40 @@
+// Hand-written lexer for DUEL expressions (the original also used a
+// hand-written lexer in front of its yacc parser).
+
+#ifndef DUEL_DUEL_LEXER_H_
+#define DUEL_DUEL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/duel/token.h"
+
+namespace duel {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input);
+
+  // Lexes the whole input; throws DuelError(kLex) on malformed tokens.
+  // The returned vector always ends with a kEnd token.
+  std::vector<Token> LexAll();
+
+ private:
+  Token Next();
+  char Peek(size_t ahead = 0) const;
+  char Take();
+  bool TakeIf(char c);
+  Token Make(Tok kind, size_t start);
+  Token LexNumber();
+  Token LexIdent();
+  Token LexCharLit();
+  Token LexStringLit();
+  char LexEscape();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_LEXER_H_

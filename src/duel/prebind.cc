@@ -1,0 +1,97 @@
+#include "src/duel/prebind.h"
+
+#include <set>
+
+namespace duel {
+
+namespace {
+
+// Collects every name the query itself can (re)define: aliases via `:=`,
+// index aliases via `#`, declarations.
+void CollectDefinedNames(const Node& n, std::set<std::string>* out) {
+  if (n.op == Op::kDefine || n.op == Op::kIndexAlias) {
+    out->insert(n.text);
+  }
+  if (n.op == Op::kDecl) {
+    for (const DeclItem& d : n.decls) {
+      out->insert(d.name);
+    }
+  }
+  for (const NodePtr& k : n.kids) {
+    CollectDefinedNames(*k, out);
+  }
+}
+
+class Binder {
+ public:
+  Binder(EvalContext& ctx, const std::set<std::string>& defined)
+      : ctx_(&ctx), defined_(&defined) {}
+
+  PrebindStats stats;
+
+  void Walk(Node& n, bool in_with_scope) {
+    switch (n.op) {
+      case Op::kName:
+        stats.names_total++;
+        TryBind(n, in_with_scope);
+        return;
+      case Op::kWith:
+      case Op::kArrowWith:
+      case Op::kDfs:
+      case Op::kBfs:
+        // The right operand resolves names against the opened scope first.
+        Walk(*n.kids[0], in_with_scope);
+        Walk(*n.kids[1], /*in_with_scope=*/true);
+        return;
+      case Op::kUntil:
+        Walk(*n.kids[0], in_with_scope);
+        // The predicate (non-literal form) runs in the value's scope.
+        Walk(*n.kids[1], /*in_with_scope=*/true);
+        return;
+      case Op::kCall:
+        // The callee name is not an evaluated expression; skip it.
+        for (size_t i = 1; i < n.kids.size(); ++i) {
+          Walk(*n.kids[i], in_with_scope);
+        }
+        return;
+      default:
+        for (const NodePtr& k : n.kids) {
+          Walk(*k, in_with_scope);
+        }
+        return;
+    }
+  }
+
+ private:
+  void TryBind(Node& n, bool in_with_scope) {
+    if (in_with_scope) {
+      return;  // could be a member of the opened scope
+    }
+    if (defined_->count(n.text) != 0 || ctx_->aliases().Has(n.text)) {
+      return;  // the query (or the session) binds this name dynamically
+    }
+    auto info = ctx_->backend().GetTargetVariable(n.text);
+    if (!info.has_value()) {
+      return;  // functions/enumerators keep dynamic resolution
+    }
+    n.prebound = true;
+    n.prebound_type = info->type;
+    n.prebound_addr = info->addr;
+    stats.names_bound++;
+  }
+
+  EvalContext* ctx_;
+  const std::set<std::string>* defined_;
+};
+
+}  // namespace
+
+PrebindStats PrebindNames(EvalContext& ctx, Node& root) {
+  std::set<std::string> defined;
+  CollectDefinedNames(root, &defined);
+  Binder binder(ctx, defined);
+  binder.Walk(root, /*in_with_scope=*/false);
+  return binder.stats;
+}
+
+}  // namespace duel

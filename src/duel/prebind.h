@@ -1,0 +1,36 @@
+// Compile-time name binding (the paper's proposed optimization).
+//
+// Implementation section: "For many Duel expressions, run-time type checking
+// and symbol lookup could be done at compile time using type-inference
+// techniques." This pass walks the AST once after parsing and binds kName
+// nodes to their target variables, so evaluation skips the per-value symbol
+// search that E4 shows dominating lookup-heavy queries.
+//
+// Binding a name early is only sound when nothing can rebind it during
+// evaluation. The pass is conservative — a name is prebound only if:
+//   * it is not currently an alias, and no `:=`, declaration, or `#` index
+//     alias anywhere in the query can define it, and
+//   * it cannot be captured by a with-scope: no `.`, `->`, `-->`, `-->>`,
+//     or `@(pred)` encloses it (member names resolve dynamically there), and
+//   * it resolves to a target variable right now.
+// Everything else falls back to normal dynamic resolution.
+
+#ifndef DUEL_DUEL_PREBIND_H_
+#define DUEL_DUEL_PREBIND_H_
+
+#include "src/duel/ast.h"
+#include "src/duel/evalctx.h"
+
+namespace duel {
+
+struct PrebindStats {
+  size_t names_total = 0;
+  size_t names_bound = 0;
+};
+
+// Annotates eligible kName nodes in-place (Node::prebound). Returns stats.
+PrebindStats PrebindNames(EvalContext& ctx, Node& root);
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_PREBIND_H_

@@ -1,0 +1,95 @@
+#include "src/duel/session.h"
+
+#include "src/duel/output.h"
+#include "src/duel/parser.h"
+#include "src/duel/prebind.h"
+
+namespace duel {
+
+std::string QueryResult::Text() const {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  if (!ok) {
+    out += error;
+    out += '\n';
+  }
+  return out;
+}
+
+Session::Session(dbg::DebuggerBackend& backend, SessionOptions opts)
+    : backend_(&backend), opts_(opts), ctx_(backend, opts.eval) {}
+
+void Session::Remember(const std::string& expr) {
+  if (opts_.max_history == 0) {
+    return;
+  }
+  if (!history_.empty() && history_.back() == expr) {
+    return;  // collapse immediate repeats
+  }
+  history_.push_back(expr);
+  if (history_.size() > opts_.max_history) {
+    history_.erase(history_.begin());
+  }
+}
+
+QueryResult Session::Query(const std::string& expr) {
+  QueryResult result;
+  Remember(expr);
+  ctx_.opts() = opts_.eval;  // pick up option changes between queries
+  try {
+    Parser parser(expr, [this](const std::string& name) {
+      return backend_->GetTargetTypedef(name) != nullptr;
+    });
+    ParseResult parsed = parser.Parse();
+    if (opts_.eval.prebind) {
+      PrebindNames(ctx_, *parsed.root);
+    }
+    std::unique_ptr<EvalEngine> engine = MakeEngine(opts_.engine, ctx_);
+    engine->Start(*parsed.root, parsed.num_nodes);
+    while (auto v = engine->Next()) {
+      result.value_count++;
+      ctx_.counters().values_produced++;
+      ResultEntry entry;
+      entry.value = FormatValue(ctx_, *v);
+      if (!v->sym().empty()) {
+        entry.sym = v->sym().Text();
+      }
+      result.entries.push_back(entry);
+      result.lines.push_back(entry.sym.empty() || entry.sym == entry.value
+                                 ? entry.value
+                                 : entry.sym + " = " + entry.value);
+      if (result.value_count >= opts_.max_output_values) {
+        result.truncated = true;
+        result.lines.push_back("...");
+        break;
+      }
+    }
+  } catch (const DuelError& e) {
+    result.ok = false;
+    result.error = FormatError(e);
+  }
+  return result;
+}
+
+uint64_t Session::Drive(const std::string& expr) {
+  ctx_.opts() = opts_.eval;
+  Parser parser(expr, [this](const std::string& name) {
+    return backend_->GetTargetTypedef(name) != nullptr;
+  });
+  ParseResult parsed = parser.Parse();
+  if (opts_.eval.prebind) {
+    PrebindNames(ctx_, *parsed.root);
+  }
+  std::unique_ptr<EvalEngine> engine = MakeEngine(opts_.engine, ctx_);
+  engine->Start(*parsed.root, parsed.num_nodes);
+  uint64_t count = 0;
+  while (engine->Next().has_value()) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace duel

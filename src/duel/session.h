@@ -1,0 +1,78 @@
+// Session: the `duel expr` command.
+//
+// "Duel's top-level evaluation command 'drives' its expression argument and
+// prints all of its values." A Session owns the evaluation context (so
+// aliases persist across queries, like the original), parses each query,
+// drives the chosen engine, and renders "sym = value" lines.
+
+#ifndef DUEL_DUEL_SESSION_H_
+#define DUEL_DUEL_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dbg/backend.h"
+#include "src/duel/eval.h"
+#include "src/duel/evalctx.h"
+#include "src/duel/value.h"
+
+namespace duel {
+
+struct SessionOptions {
+  EngineKind engine = EngineKind::kStateMachine;
+  EvalOptions eval;
+  size_t max_output_values = 100'000;  // guard against unbounded output
+  size_t max_history = 100;            // query history depth (0 = off)
+};
+
+// One produced value, in structured form (used by the MI front end).
+struct ResultEntry {
+  std::string sym;    // symbolic value ("" when none, e.g. reductions)
+  std::string value;  // formatted actual value
+};
+
+struct QueryResult {
+  bool ok = true;
+  std::vector<std::string> lines;    // what the duel command printed
+  std::vector<ResultEntry> entries;  // the same results, structured
+  std::string error;                 // rendered error when !ok
+  uint64_t value_count = 0;
+  bool truncated = false;            // hit max_output_values
+
+  // Joined lines (+ error if any), each terminated by '\n'.
+  std::string Text() const;
+};
+
+class Session {
+ public:
+  explicit Session(dbg::DebuggerBackend& backend, SessionOptions opts = {});
+
+  // Evaluates one DUEL query, returning everything it printed.
+  QueryResult Query(const std::string& expr);
+
+  // Drives a query and discards output lines; returns the number of values
+  // (used by benchmarks to avoid measuring string formatting).
+  uint64_t Drive(const std::string& expr);
+
+  EvalContext& context() { return ctx_; }
+  SessionOptions& options() { return opts_; }
+  void ClearAliases() { ctx_.aliases().Clear(); }
+
+  // Query history (paper Discussion: "especially if it maintained a history
+  // so that common, program-specific queries could be made by simply
+  // pointing"). Most recent last.
+  const std::vector<std::string>& history() const { return history_; }
+  void ClearHistory() { history_.clear(); }
+
+ private:
+  void Remember(const std::string& expr);
+
+  dbg::DebuggerBackend* backend_;
+  SessionOptions opts_;
+  EvalContext ctx_;
+  std::vector<std::string> history_;
+};
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_SESSION_H_

@@ -1,0 +1,126 @@
+// Tokens of the DUEL concrete syntax: all of C's tokens plus the DUEL
+// operators (.. >? ==? => := --> [[ ]] #/ @ # ...).
+
+#ifndef DUEL_DUEL_TOKEN_H_
+#define DUEL_DUEL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/error.h"
+
+namespace duel {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kCharLit,
+  kStringLit,
+
+  // Punctuation and C operators.
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLSelect,   // [[
+  kRSelect,   // ]]
+  kLBrace,    // {
+  kRBrace,    // }
+  kDot,       // .
+  kArrow,     // ->
+  kExpand,    // -->   (dfs)
+  kExpandBfs, // -->>  (bfs, extension)
+  kInc,       // ++
+  kDec,       // --
+  kAmp,       // &
+  kStar,      // *
+  kPlus,      // +
+  kMinus,     // -
+  kTilde,     // ~
+  kBang,      // !
+  kSlash,     // /
+  kPercent,   // %
+  kShl,       // <<
+  kShr,       // >>
+  kLt,        // <
+  kGt,        // >
+  kLe,        // <=
+  kGe,        // >=
+  kEq,        // ==
+  kNe,        // !=
+  kCaret,     // ^
+  kPipe,      // |
+  kAndAnd,    // &&
+  kOrOr,      // ||
+  kQuestion,  // ?
+  kColon,     // :
+  kSemi,      // ;
+  kComma,     // ,
+  kAssign,    // =
+  kStarEq,    // *=
+  kSlashEq,   // /=
+  kPercentEq, // %=
+  kPlusEq,    // +=
+  kMinusEq,   // -=
+  kShlEq,     // <<=
+  kShrEq,     // >>=
+  kAmpEq,     // &=
+  kCaretEq,   // ^=
+  kPipeEq,    // |=
+
+  // DUEL operators.
+  kDotDot,    // ..
+  kIfGt,      // >?
+  kIfLt,      // <?
+  kIfGe,      // >=?
+  kIfLe,      // <=?
+  kIfEq,      // ==?
+  kIfNe,      // !=?
+  kSeqEq,     // ===   (sequence equality; the paper's abstract `equality`)
+  kImply,     // =>
+  kDefine,    // :=
+  kCountOf,   // #/
+  kSumOf,     // +/
+  kAllOf,     // &&/
+  kAnyOf,     // ||/
+  kAt,        // @
+  kHash,      // #
+  kUnderscore,// _
+
+  // Keywords.
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwSizeof,
+  kKwStruct,
+  kKwUnion,
+  kKwEnum,
+  kKwInt,
+  kKwChar,
+  kKwLong,
+  kKwShort,
+  kKwUnsigned,
+  kKwSigned,
+  kKwFloat,
+  kKwDouble,
+  kKwVoid,
+};
+
+const char* TokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  SourceRange range;
+  std::string text;       // identifier spelling / literal body
+  uint64_t int_value = 0; // kIntLit, kCharLit
+  bool is_unsigned = false;
+  bool is_long = false;
+  double float_value = 0; // kFloatLit
+};
+
+}  // namespace duel
+
+#endif  // DUEL_DUEL_TOKEN_H_

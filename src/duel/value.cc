@@ -1,0 +1,267 @@
+#include "src/duel/value.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace duel {
+
+Sym Sym::Plain(std::string text, int prec) {
+  Sym s;
+  s.head_ = std::move(text);
+  s.prec_ = prec;
+  return s;
+}
+
+Sym Sym::LazyText(std::string text, int prec) {
+  auto node = std::make_shared<SymDeferred>();
+  node->k = SymDeferred::K::kText;
+  node->text = std::move(text);
+  node->prec = prec;
+  return FromDeferred(std::move(node));
+}
+
+Sym Sym::FromDeferred(std::shared_ptr<const SymDeferred> node) {
+  Sym s;
+  s.lazy_ = std::move(node);
+  return s;
+}
+
+int Sym::prec() const {
+  if (lazy_ != nullptr) {
+    // Conservative without materializing: postfix-ish nodes bind tight,
+    // everything else reports its recorded precedence.
+    return lazy_->prec;
+  }
+  return count_ > 0 ? kPrecPostfix : prec_;
+}
+
+Sym Sym::Materialize(const SymDeferred& node) {
+  switch (node.k) {
+    case SymDeferred::K::kText:
+      return Plain(node.text, node.prec);
+    case SymDeferred::K::kBinary:
+      return ComposeBinary(Materialize(*node.a), node.text, Materialize(*node.b), node.prec);
+    case SymDeferred::K::kUnary:
+      return ComposeUnary(node.text, Materialize(*node.a));
+    case SymDeferred::K::kIndex:
+      return ComposeIndex(Materialize(*node.a), Materialize(*node.b));
+    case SymDeferred::K::kMember:
+      return Materialize(*node.a).WithMember(node.text, node.arrow);
+    case SymDeferred::K::kWithExpr: {
+      const char* sep = node.arrow ? "->" : ".";
+      return Plain(Materialize(*node.a).TextAsOperand(kPrecPostfix) + sep + "(" +
+                       Materialize(*node.b).Text() + ")",
+                   kPrecPostfix);
+    }
+    case SymDeferred::K::kSelected:
+      return Materialize(*node.a).SelectedAt(node.index);
+  }
+  return None();
+}
+
+std::string Sym::Text() const {
+  if (lazy_ != nullptr) {
+    return Materialize(*lazy_).Text();
+  }
+  if (count_ == 0) {
+    return head_;
+  }
+  if (count_ >= kCompressAt) {
+    return head_ + "-->" + member_ + StrPrintf("[[%d]]", count_) + suffix_;
+  }
+  std::string out = head_;
+  for (int i = 0; i < count_; ++i) {
+    out += "->" + member_;
+  }
+  return out + suffix_;
+}
+
+std::string Sym::TextAsOperand(int min_prec) const {
+  if (lazy_ != nullptr) {
+    return Materialize(*lazy_).TextAsOperand(min_prec);
+  }
+  if (prec() < min_prec) {
+    return "(" + Text() + ")";
+  }
+  return Text();
+}
+
+Sym Sym::WithMember(const std::string& member, bool arrow) const {
+  if (lazy_ != nullptr) {
+    auto node = std::make_shared<SymDeferred>();
+    node->k = SymDeferred::K::kMember;
+    node->prec = kPrecPostfix;
+    node->text = member;
+    node->arrow = arrow;
+    node->a = lazy_;
+    return FromDeferred(std::move(node));
+  }
+  Sym s;
+  s.prec_ = kPrecPostfix;
+  const char* sep = arrow ? "->" : ".";
+  if (arrow && count_ > 0 && member_ == member && suffix_.empty()) {
+    s = *this;
+    s.count_++;
+    return s;
+  }
+  if (count_ > 0) {
+    // Extend the suffix; the chain head stays compressible.
+    s = *this;
+    s.suffix_ += sep + member;
+    return s;
+  }
+  if (arrow) {
+    // Start a structural chain so repeats can compress.
+    s.head_ = prec_ >= kPrecPostfix ? head_ : "(" + head_ + ")";
+    s.member_ = member;
+    s.count_ = 1;
+    return s;
+  }
+  s.head_ = TextAsOperand(kPrecPostfix) + sep + member;
+  return s;
+}
+
+Sym Sym::SelectedAt(uint64_t index) const {
+  if (lazy_ != nullptr) {
+    auto node = std::make_shared<SymDeferred>();
+    node->k = SymDeferred::K::kSelected;
+    node->prec = kPrecPostfix;
+    node->index = index;
+    node->a = lazy_;
+    return FromDeferred(std::move(node));
+  }
+  if (count_ == 0) {
+    return *this;
+  }
+  Sym s;
+  s.prec_ = kPrecPostfix;
+  s.head_ = head_ + "-->" + member_ +
+            StrPrintf("[[%llu]]", static_cast<unsigned long long>(index)) + suffix_;
+  return s;
+}
+
+namespace {
+
+std::shared_ptr<const SymDeferred> DeferOperand(const Sym& s) {
+  if (s.IsLazy()) {
+    return s.deferred();
+  }
+  auto node = std::make_shared<SymDeferred>();
+  node->k = SymDeferred::K::kText;
+  node->text = s.Text();
+  node->prec = s.prec();
+  return node;
+}
+
+}  // namespace
+
+Sym ComposeBinary(const Sym& lhs, const std::string& op, const Sym& rhs, int prec) {
+  if (lhs.IsLazy() || rhs.IsLazy()) {
+    auto node = std::make_shared<SymDeferred>();
+    node->k = SymDeferred::K::kBinary;
+    node->prec = prec;
+    node->text = op;
+    node->a = DeferOperand(lhs);
+    node->b = DeferOperand(rhs);
+    return Sym::FromDeferred(std::move(node));
+  }
+  return Sym::Plain(lhs.TextAsOperand(prec) + op + rhs.TextAsOperand(prec + 1), prec);
+}
+
+Sym ComposeUnary(const std::string& op, const Sym& operand) {
+  if (operand.IsLazy()) {
+    auto node = std::make_shared<SymDeferred>();
+    node->k = SymDeferred::K::kUnary;
+    node->prec = kPrecUnary;
+    node->text = op;
+    node->a = DeferOperand(operand);
+    return Sym::FromDeferred(std::move(node));
+  }
+  return Sym::Plain(op + operand.TextAsOperand(kPrecUnary), kPrecUnary);
+}
+
+Sym ComposeIndex(const Sym& base, const Sym& index) {
+  if (base.IsLazy() || index.IsLazy()) {
+    auto node = std::make_shared<SymDeferred>();
+    node->k = SymDeferred::K::kIndex;
+    node->prec = kPrecPostfix;
+    node->a = DeferOperand(base);
+    node->b = DeferOperand(index);
+    return Sym::FromDeferred(std::move(node));
+  }
+  return Sym::Plain(base.TextAsOperand(kPrecPostfix) + "[" + index.Text() + "]",
+                    kPrecPostfix);
+}
+
+Value Value::RV(TypeRef type, const void* bytes, size_t n, Sym sym) {
+  Value v;
+  v.kind_ = Kind::kRValue;
+  v.type_ = std::move(type);
+  v.bytes_.Assign(bytes, n);
+  v.sym_ = std::move(sym);
+  return v;
+}
+
+Value Value::Int(TypeRef type, int64_t value, Sym sym) {
+  uint8_t buf[8];
+  size_t n = type->size();
+  if (n > 8) {
+    throw DuelError(ErrorKind::kInternal, "Value::Int with oversized type");
+  }
+  std::memcpy(buf, &value, n);  // little-endian truncation
+  return RV(std::move(type), buf, n, std::move(sym));
+}
+
+Value Value::Double(TypeRef type, double value, Sym sym) {
+  if (type->kind() == TypeKind::kFloat) {
+    float f = static_cast<float>(value);
+    return RV(std::move(type), &f, sizeof(f), std::move(sym));
+  }
+  return RV(std::move(type), &value, sizeof(value), std::move(sym));
+}
+
+Value Value::Pointer(TypeRef type, Addr a, Sym sym) {
+  return RV(std::move(type), &a, sizeof(a), std::move(sym));
+}
+
+Value Value::LV(TypeRef type, Addr address, Sym sym) {
+  Value v;
+  v.kind_ = Kind::kLValue;
+  v.type_ = std::move(type);
+  v.addr_ = address;
+  v.sym_ = std::move(sym);
+  return v;
+}
+
+Value Value::BitfieldLV(TypeRef type, Addr address, unsigned bit_offset, unsigned bit_width,
+                        Sym sym) {
+  Value v = LV(std::move(type), address, std::move(sym));
+  v.bit_offset_ = bit_offset;
+  v.bit_width_ = bit_width;
+  return v;
+}
+
+Value Value::FrameHandle(size_t frame_index, Sym sym) {
+  Value v;
+  v.kind_ = Kind::kFrame;
+  v.frame_index_ = frame_index;
+  v.sym_ = std::move(sym);
+  return v;
+}
+
+Addr Value::addr() const {
+  if (kind_ != Kind::kLValue) {
+    throw DuelError(ErrorKind::kInternal, "addr() on non-lvalue");
+  }
+  return addr_;
+}
+
+std::span<const uint8_t> Value::bytes() const {
+  if (kind_ != Kind::kRValue) {
+    throw DuelError(ErrorKind::kInternal, "bytes() on non-rvalue");
+  }
+  return bytes_.span();
+}
+
+}  // namespace duel

@@ -1,0 +1,47 @@
+#include "src/exec/program.h"
+
+#include "src/support/strings.h"
+
+namespace duel::exec {
+
+namespace {
+
+bool IsNoOpLine(const std::string& line) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '#' && i + 1 < line.size() && line[i + 1] == '#') {
+      return true;  // comment-only line
+    }
+    if (!isspace(static_cast<unsigned char>(line[i]))) {
+      return false;
+    }
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+TargetProgram TargetProgram::Parse(const std::vector<std::string>& lines,
+                                   const target::TargetImage& image) {
+  TargetProgram p;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    p.lines_.push_back(lines[i]);
+    Stmt stmt;
+    if (!IsNoOpLine(lines[i])) {
+      try {
+        Parser parser(lines[i], [&image](const std::string& name) {
+          return image.types().LookupTypedef(name) != nullptr;
+        });
+        ParseResult r = parser.Parse();
+        stmt.root = std::move(r.root);
+        stmt.num_nodes = r.num_nodes;
+      } catch (const DuelError& e) {
+        throw DuelError(ErrorKind::kParse,
+                        StrPrintf("line %zu: %s", i + 1, e.what()), e.range());
+      }
+    }
+    p.statements_.push_back(std::move(stmt));
+  }
+  return p;
+}
+
+}  // namespace duel::exec

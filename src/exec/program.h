@@ -1,0 +1,54 @@
+// Steppable target programs.
+//
+// The paper's Discussion proposes using DUEL "in other traditional debugging
+// facilities, e.g., watchpoints and conditional breakpoints", and its
+// Implementation section worries that "a faster implementation would be
+// required if Duel expressions were used in watchpoints and conditional
+// breakpoints". To exercise that code path the simulated debuggee must
+// *run*: a TargetProgram is a sequence of C statements (one per line,
+// executed atomically by the conventional-C interpreter) that mutates the
+// image, and exec::Debugger steps it under breakpoints and watchpoints.
+
+#ifndef DUEL_EXEC_PROGRAM_H_
+#define DUEL_EXEC_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/duel/ast.h"
+#include "src/duel/parser.h"
+#include "src/target/image.h"
+
+namespace duel::exec {
+
+class TargetProgram {
+ public:
+  // Parses one statement per input line (blank lines and `##` comment lines
+  // stay in the listing but execute as no-ops). Statements are the C subset
+  // the baseline interpreter accepts: declarations, expression statements,
+  // and for/if/while lines (which run atomically). Throws DuelError(kParse)
+  // with the offending line number on bad input.
+  static TargetProgram Parse(const std::vector<std::string>& lines,
+                             const target::TargetImage& image);
+
+  size_t size() const { return lines_.size(); }
+  const std::string& line(size_t i) const { return lines_[i]; }
+
+  // Null for no-op lines.
+  const Node* statement(size_t i) const { return statements_[i].root.get(); }
+  int num_nodes(size_t i) const { return statements_[i].num_nodes; }
+
+ private:
+  struct Stmt {
+    NodePtr root;  // null for blank/comment lines
+    int num_nodes = 0;
+  };
+
+  std::vector<std::string> lines_;
+  std::vector<Stmt> statements_;
+};
+
+}  // namespace duel::exec
+
+#endif  // DUEL_EXEC_PROGRAM_H_

@@ -1,0 +1,179 @@
+#include "src/mi/mi.h"
+
+#include <cctype>
+
+#include "src/support/strings.h"
+
+namespace duel::mi {
+
+std::string MiQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\%03o", static_cast<unsigned char>(c));
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+// Parses an MI c-string starting at s[i] == '"'. Returns false on bad syntax.
+bool ParseCString(const std::string& s, size_t* i, std::string* out) {
+  if (*i >= s.size() || s[*i] != '"') {
+    return false;
+  }
+  ++*i;
+  out->clear();
+  while (*i < s.size()) {
+    char c = s[(*i)++];
+    if (c == '"') {
+      return true;
+    }
+    if (c == '\\' && *i < s.size()) {
+      char e = s[(*i)++];
+      switch (e) {
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        default: out->push_back(e); break;
+      }
+    } else {
+      out->push_back(c);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string MiSession::Handle(const std::string& line) {
+  // Token prefix.
+  size_t i = 0;
+  std::string token;
+  while (i < line.size() && isdigit(static_cast<unsigned char>(line[i]))) {
+    token.push_back(line[i++]);
+  }
+  // Console form: "duel EXPR".
+  if (line.compare(i, 5, "duel ") == 0) {
+    QueryResult r = session_.Query(line.substr(i + 5));
+    std::string out;
+    for (const std::string& l : r.lines) {
+      out += "~" + MiQuote(l + "\n") + "\n";
+    }
+    if (r.ok) {
+      out += token + "^done\n";
+    } else {
+      out += token + "^error,msg=" + MiQuote(r.error) + "\n";
+    }
+    return out + "(gdb)\n";
+  }
+  if (i >= line.size() || line[i] != '-') {
+    return token + "^error,msg=" + MiQuote("undefined command: " + line) + "\n(gdb)\n";
+  }
+  size_t cmd_start = i;
+  while (i < line.size() && !isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  std::string command = line.substr(cmd_start, i - cmd_start);
+  while (i < line.size() && isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  return HandleCommand(token, command, line.substr(i));
+}
+
+std::string MiSession::HandleCommand(const std::string& token, const std::string& command,
+                                     const std::string& rest) {
+  auto done = [&](const std::string& extra = "") {
+    return token + "^done" + extra + "\n(gdb)\n";
+  };
+  auto error = [&](const std::string& msg) {
+    return token + "^error,msg=" + MiQuote(msg) + "\n(gdb)\n";
+  };
+
+  if (command == "-duel-evaluate") {
+    std::string expr;
+    size_t i = 0;
+    if (!ParseCString(rest, &i, &expr)) {
+      expr = rest;  // tolerate an unquoted expression
+    }
+    if (expr.empty()) {
+      return error("-duel-evaluate requires an expression");
+    }
+    QueryResult r = session_.Query(expr);
+    if (!r.ok) {
+      return error(r.error);
+    }
+    std::string values = ",values=[";
+    for (size_t k = 0; k < r.entries.size(); ++k) {
+      if (k != 0) {
+        values += ",";
+      }
+      values += "{sym=" + MiQuote(r.entries[k].sym) + ",value=" +
+                MiQuote(r.entries[k].value) + "}";
+    }
+    values += "]";
+    if (r.truncated) {
+      values += ",truncated=\"1\"";
+    }
+    return done(values);
+  }
+  if (command == "-duel-set-engine") {
+    if (rest == "sm" || rest == "state-machine") {
+      session_.options().engine = EngineKind::kStateMachine;
+      return done();
+    }
+    if (rest == "coro" || rest == "coroutine") {
+      session_.options().engine = EngineKind::kCoroutine;
+      return done();
+    }
+    return error("unknown engine: " + rest);
+  }
+  if (command == "-duel-set-symbolic") {
+    if (rest == "on") {
+      session_.options().eval.sym_mode = EvalOptions::SymMode::kOn;
+      return done();
+    }
+    if (rest == "lazy") {
+      session_.options().eval.sym_mode = EvalOptions::SymMode::kLazy;
+      return done();
+    }
+    if (rest == "off") {
+      session_.options().eval.sym_mode = EvalOptions::SymMode::kOff;
+      return done();
+    }
+    return error("expected on|lazy|off");
+  }
+  if (command == "-duel-clear-aliases") {
+    session_.ClearAliases();
+    return done();
+  }
+  if (command == "-list-features") {
+    return done(
+        ",features=[\"duel-evaluate\",\"duel-set-engine\",\"duel-set-symbolic\","
+        "\"duel-clear-aliases\"]");
+  }
+  return error("undefined MI command: " + command);
+}
+
+}  // namespace duel::mi

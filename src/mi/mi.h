@@ -1,0 +1,50 @@
+// A gdb/MI-flavoured machine interface for DUEL.
+//
+// The original added one command to gdb ("duel expr"). Modern front ends
+// drive gdb through MI, so this module exposes the same single entry point
+// as MI commands, making DUEL scriptable by tools:
+//
+//   [token]-duel-evaluate "expr"     -> [token]^done,values=[{sym="..",value=".."},...]
+//                                       [token]^error,msg="..."
+//   [token]-duel-set-engine sm|coro  -> ^done
+//   [token]-duel-set-symbolic on|off -> ^done
+//   [token]-duel-clear-aliases       -> ^done
+//   [token]-list-features            -> ^done,features=[...]
+//   duel EXPR        (console form)  -> ~"line\n"... then ^done
+//
+// Every response line is followed by the MI turn terminator "(gdb)".
+
+#ifndef DUEL_MI_MI_H_
+#define DUEL_MI_MI_H_
+
+#include <string>
+#include <vector>
+
+#include "src/duel/session.h"
+
+namespace duel::mi {
+
+// Escapes a string as an MI c-string (quotes included).
+std::string MiQuote(const std::string& s);
+
+class MiSession {
+ public:
+  explicit MiSession(dbg::DebuggerBackend& backend, SessionOptions opts = {})
+      : session_(backend, opts) {}
+
+  // Handles one input line, returning the full response (one or more lines,
+  // each '\n'-terminated, ending with "(gdb)\n").
+  std::string Handle(const std::string& line);
+
+  Session& session() { return session_; }
+
+ private:
+  std::string HandleCommand(const std::string& token, const std::string& command,
+                            const std::string& rest);
+
+  Session session_;
+};
+
+}  // namespace duel::mi
+
+#endif  // DUEL_MI_MI_H_

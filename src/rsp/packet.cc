@@ -1,0 +1,119 @@
+#include "src/rsp/packet.h"
+
+#include <cctype>
+
+namespace duel::rsp {
+
+namespace {
+
+bool NeedsEscape(char c) { return c == '$' || c == '#' || c == '}' || c == '*'; }
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EncodePacket(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  out.push_back('$');
+  uint8_t sum = 0;
+  for (char c : payload) {
+    if (NeedsEscape(c)) {
+      out.push_back('}');
+      sum += static_cast<uint8_t>('}');
+      char esc = static_cast<char>(c ^ 0x20);
+      out.push_back(esc);
+      sum += static_cast<uint8_t>(esc);
+    } else {
+      out.push_back(c);
+      sum += static_cast<uint8_t>(c);
+    }
+  }
+  out.push_back('#');
+  static const char kHex[] = "0123456789abcdef";
+  out.push_back(kHex[sum >> 4]);
+  out.push_back(kHex[sum & 0xf]);
+  return out;
+}
+
+void PacketDecoder::Feed(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    char c = p[i];
+    switch (state_) {
+      case State::kIdle:
+        if (c == '$') {
+          state_ = State::kPayload;
+          payload_.clear();
+          running_sum_ = 0;
+        } else if (c == '+') {
+          acks_++;
+        } else if (c == '-') {
+          naks_++;
+        }
+        break;
+      case State::kPayload:
+        if (c == '#') {
+          state_ = State::kChecksum1;
+        } else if (c == '}') {
+          running_sum_ += static_cast<uint8_t>(c);
+          state_ = State::kEscape;
+        } else {
+          payload_.push_back(c);
+          running_sum_ += static_cast<uint8_t>(c);
+        }
+        break;
+      case State::kEscape:
+        payload_.push_back(static_cast<char>(c ^ 0x20));
+        running_sum_ += static_cast<uint8_t>(c);
+        state_ = State::kPayload;
+        break;
+      case State::kChecksum1:
+        checksum_hi_ = static_cast<uint8_t>(c);
+        state_ = State::kChecksum2;
+        break;
+      case State::kChecksum2: {
+        int hi = HexDigit(static_cast<char>(checksum_hi_));
+        int lo = HexDigit(c);
+        if (hi >= 0 && lo >= 0 &&
+            static_cast<uint8_t>((hi << 4) | lo) == running_sum_) {
+          ready_.push_back(std::move(payload_));
+        } else {
+          bad_checksums_++;
+          naks_++;  // a real stack would NAK; surface it the same way
+        }
+        payload_.clear();
+        state_ = State::kIdle;
+        break;
+      }
+    }
+  }
+}
+
+std::optional<std::string> PacketDecoder::NextPacket() {
+  if (ready_.empty()) {
+    return std::nullopt;
+  }
+  std::string p = std::move(ready_.front());
+  ready_.pop_front();
+  return p;
+}
+
+int PacketDecoder::TakeNaks() {
+  int n = naks_;
+  naks_ = 0;
+  return n;
+}
+
+int PacketDecoder::TakeAcks() {
+  int n = acks_;
+  acks_ = 0;
+  return n;
+}
+
+}  // namespace duel::rsp

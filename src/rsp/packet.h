@@ -1,0 +1,53 @@
+// gdbserver-style Remote Serial Protocol framing.
+//
+// Packets travel as  $<escaped payload>#<2-hex checksum>  with '+'/'-' acks.
+// The escape character '}' XORs the following byte with 0x20; '$', '#', '}'
+// are escaped. The checksum is the modulo-256 sum of the escaped payload.
+// This is the classic RSP wire format; the DUEL-specific request vocabulary
+// lives in server.h.
+
+#ifndef DUEL_RSP_PACKET_H_
+#define DUEL_RSP_PACKET_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace duel::rsp {
+
+// Encodes a payload into a framed packet (with '$', escapes, '#', checksum).
+std::string EncodePacket(const std::string& payload);
+
+// Incremental decoder: feed raw bytes, poll for completed packets. Acks
+// ('+'/'-') are recorded and can be drained by the transport layer.
+class PacketDecoder {
+ public:
+  // Feeds raw bytes from the wire.
+  void Feed(const void* data, size_t n);
+
+  // Returns the next completed, checksum-verified payload, if any.
+  std::optional<std::string> NextPacket();
+
+  // Number of NAKs ('-') seen since the last call (for retransmit logic).
+  int TakeNaks();
+  int TakeAcks();
+
+  // Count of packets dropped due to checksum mismatch.
+  uint64_t bad_checksums() const { return bad_checksums_; }
+
+ private:
+  enum class State { kIdle, kPayload, kChecksum1, kChecksum2, kEscape };
+
+  State state_ = State::kIdle;
+  std::string payload_;
+  uint8_t running_sum_ = 0;
+  uint8_t checksum_hi_ = 0;
+  std::deque<std::string> ready_;
+  int naks_ = 0;
+  int acks_ = 0;
+  uint64_t bad_checksums_ = 0;
+};
+
+}  // namespace duel::rsp
+
+#endif  // DUEL_RSP_PACKET_H_

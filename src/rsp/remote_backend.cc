@@ -1,0 +1,241 @@
+#include "src/rsp/remote_backend.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+#include "src/target/ctype_io.h"
+
+namespace duel::rsp {
+
+using target::Addr;
+using target::RawDatum;
+using target::TypeRef;
+
+namespace {
+
+std::string HexName(const std::string& name) { return HexEncode(name.data(), name.size()); }
+
+[[noreturn]] void ProtocolFail(const std::string& what) {
+  throw DuelError(ErrorKind::kProtocol, "remote protocol error: " + what);
+}
+
+std::string DecodeErrorMessage(std::string_view response) {
+  size_t colon = response.find(':');
+  if (colon == std::string_view::npos) {
+    return std::string(response);
+  }
+  std::vector<uint8_t> bytes;
+  if (!HexDecode(response.substr(colon + 1), &bytes)) {
+    return std::string(response);
+  }
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+std::string RemoteBackend::Request(const std::string& payload) {
+  return transport_->RoundTrip(payload);
+}
+
+void RemoteBackend::GetTargetBytes(Addr addr, void* out, size_t size) {
+  counters_.read_calls++;
+  counters_.bytes_read += size;
+  std::string r = Request("m" + HexU64(addr) + "," + HexU64(size));
+  if (StartsWith(r, "E")) {
+    throw MemoryFault(addr, size, StrPrintf("cannot read %zu bytes at 0x%llx (remote)", size,
+                                            static_cast<unsigned long long>(addr)));
+  }
+  std::vector<uint8_t> bytes;
+  if (!HexDecode(r, &bytes) || bytes.size() != size) {
+    ProtocolFail("bad memory-read response");
+  }
+  std::memcpy(out, bytes.data(), size);
+}
+
+void RemoteBackend::PutTargetBytes(Addr addr, const void* in, size_t size) {
+  counters_.write_calls++;
+  counters_.bytes_written += size;
+  std::string r = Request("M" + HexU64(addr) + "," + HexU64(size) + ":" + HexEncode(in, size));
+  if (r != "OK") {
+    throw MemoryFault(addr, size, StrPrintf("cannot write %zu bytes at 0x%llx (remote)", size,
+                                            static_cast<unsigned long long>(addr)));
+  }
+}
+
+bool RemoteBackend::ValidTargetBytes(Addr addr, size_t size) {
+  return Request("qValid:" + HexU64(addr) + "," + HexU64(size)) == "OK";
+}
+
+Addr RemoteBackend::AllocTargetSpace(size_t size, size_t align) {
+  counters_.allocations++;
+  std::string r = Request("qAlloc:" + HexU64(size) + "," + HexU64(align));
+  uint64_t addr;
+  if (!StartsWith(r, "A") || !ParseHexU64(std::string_view(r).substr(1), &addr)) {
+    ProtocolFail("bad alloc response");
+  }
+  return addr;
+}
+
+RawDatum RemoteBackend::CallTargetFunc(const std::string& name,
+                                       std::span<const RawDatum> args) {
+  counters_.target_calls++;
+  std::string req = "vCall:" + HexName(name) + ":";
+  for (const RawDatum& a : args) {
+    req += target::SerializeType(a.type) + "," + HexEncode(a.bytes.data(), a.bytes.size()) +
+           ";";
+  }
+  std::string r = Request(req);
+  if (StartsWith(r, "E02") || StartsWith(r, "E04")) {
+    throw DuelError(ErrorKind::kTarget, DecodeErrorMessage(r));
+  }
+  if (!StartsWith(r, "R")) {
+    ProtocolFail("bad call response");
+  }
+  size_t comma = r.rfind(',');
+  if (comma == std::string::npos) {
+    ProtocolFail("bad call response");
+  }
+  RawDatum out;
+  std::string type_part = r.substr(1, comma - 1);
+  if (type_part != "v") {
+    out.type = target::ParseSerializedType(type_part, types_);
+  } else {
+    out.type = types_.Void();
+  }
+  if (!HexDecode(std::string_view(r).substr(comma + 1), &out.bytes)) {
+    ProtocolFail("bad call response bytes");
+  }
+  return out;
+}
+
+std::optional<dbg::VariableInfo> RemoteBackend::GetTargetVariable(const std::string& name) {
+  counters_.symbol_lookups++;
+  std::string r = Request("qVar:" + HexName(name));
+  if (StartsWith(r, "E")) {
+    return std::nullopt;
+  }
+  size_t semi = r.find(';');
+  uint64_t addr;
+  if (!StartsWith(r, "V") || semi == std::string::npos ||
+      !ParseHexU64(std::string_view(r).substr(1, semi - 1), &addr)) {
+    ProtocolFail("bad variable response");
+  }
+  dbg::VariableInfo info;
+  info.name = name;
+  info.addr = addr;
+  info.type = target::ParseSerializedType(r.substr(semi + 1), types_);
+  return info;
+}
+
+std::optional<dbg::FunctionInfo> RemoteBackend::GetTargetFunction(const std::string& name) {
+  counters_.symbol_lookups++;
+  std::string r = Request("qFunc:" + HexName(name));
+  if (StartsWith(r, "E")) {
+    return std::nullopt;
+  }
+  size_t semi = r.find(';');
+  uint64_t addr;
+  if (!StartsWith(r, "F") || semi == std::string::npos ||
+      !ParseHexU64(std::string_view(r).substr(1, semi - 1), &addr)) {
+    ProtocolFail("bad function response");
+  }
+  dbg::FunctionInfo info;
+  info.name = name;
+  info.addr = addr;
+  info.type = target::ParseSerializedType(r.substr(semi + 1), types_);
+  return info;
+}
+
+TypeRef RemoteBackend::QueryType(const std::string& command, const std::string& name) {
+  counters_.type_lookups++;
+  std::string r = Request(command + ":" + HexName(name));
+  if (StartsWith(r, "E") || !StartsWith(r, "T")) {
+    return nullptr;
+  }
+  return target::ParseSerializedType(r.substr(1), types_);
+}
+
+TypeRef RemoteBackend::GetTargetTypedef(const std::string& name) {
+  return QueryType("qTypedef", name);
+}
+
+TypeRef RemoteBackend::GetTargetStruct(const std::string& tag) {
+  return QueryType("qStruct", tag);
+}
+
+TypeRef RemoteBackend::GetTargetUnion(const std::string& tag) {
+  return QueryType("qUnion", tag);
+}
+
+TypeRef RemoteBackend::GetTargetEnum(const std::string& tag) {
+  return QueryType("qEnum", tag);
+}
+
+std::optional<dbg::EnumeratorInfo> RemoteBackend::GetTargetEnumerator(
+    const std::string& name) {
+  counters_.symbol_lookups++;
+  std::string r = Request("qEnumConst:" + HexName(name));
+  if (!StartsWith(r, "C")) {
+    return std::nullopt;  // E00 (not found) or protocol-unsupported
+  }
+  size_t semi = r.find(';');
+  uint64_t v;
+  if (semi == std::string::npos || !ParseHexU64(std::string_view(r).substr(1, semi - 1), &v)) {
+    ProtocolFail("bad enumerator response");
+  }
+  dbg::EnumeratorInfo info;
+  info.value = static_cast<int64_t>(v);
+  info.type = target::ParseSerializedType(r.substr(semi + 1), types_);
+  return info;
+}
+
+size_t RemoteBackend::NumFrames() {
+  std::string r = Request("qFrames");
+  uint64_t n;
+  if (!StartsWith(r, "N") || !ParseHexU64(std::string_view(r).substr(1), &n)) {
+    ProtocolFail("bad frames response");
+  }
+  return n;
+}
+
+std::string RemoteBackend::FrameFunction(size_t frame) {
+  std::string r = Request("qFrameFn:" + HexU64(frame));
+  if (!StartsWith(r, "F")) {
+    ProtocolFail("bad frame-function response");
+  }
+  std::vector<uint8_t> bytes;
+  if (!HexDecode(std::string_view(r).substr(1), &bytes)) {
+    ProtocolFail("bad frame-function name");
+  }
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::vector<dbg::FrameVariable> RemoteBackend::FrameLocals(size_t frame) {
+  std::string r = Request("qFrameLocals:" + HexU64(frame));
+  if (!StartsWith(r, "L")) {
+    ProtocolFail("bad frame-locals response");
+  }
+  std::vector<dbg::FrameVariable> out;
+  for (std::string_view part : Split(std::string_view(r).substr(1), ';')) {
+    if (part.empty()) {
+      continue;
+    }
+    std::vector<std::string_view> fields = Split(part, ',');
+    if (fields.size() != 3) {
+      ProtocolFail("bad frame-local entry");
+    }
+    std::vector<uint8_t> name_bytes;
+    uint64_t addr;
+    if (!HexDecode(fields[0], &name_bytes) || !ParseHexU64(fields[1], &addr)) {
+      ProtocolFail("bad frame-local fields");
+    }
+    dbg::FrameVariable v;
+    v.name.assign(name_bytes.begin(), name_bytes.end());
+    v.addr = addr;
+    v.type = target::ParseSerializedType(std::string(fields[2]), types_);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace duel::rsp

@@ -1,0 +1,50 @@
+// RemoteBackend: the DUEL side of the remote protocol.
+//
+// Implements the narrow DebuggerBackend interface over an RSP transport, the
+// way DUEL would attach to a remote debugger. Types arrive serialized and
+// are rebuilt in a client-side TypeTable; memory and calls round-trip per
+// request (experiment E8 measures this against the in-process SimBackend).
+
+#ifndef DUEL_RSP_REMOTE_BACKEND_H_
+#define DUEL_RSP_REMOTE_BACKEND_H_
+
+#include <string>
+
+#include "src/dbg/backend.h"
+#include "src/rsp/transport.h"
+
+namespace duel::rsp {
+
+class RemoteBackend final : public dbg::DebuggerBackend {
+ public:
+  explicit RemoteBackend(Transport& transport) : transport_(&transport) {}
+
+  void GetTargetBytes(target::Addr addr, void* out, size_t size) override;
+  void PutTargetBytes(target::Addr addr, const void* in, size_t size) override;
+  bool ValidTargetBytes(target::Addr addr, size_t size) override;
+  target::Addr AllocTargetSpace(size_t size, size_t align) override;
+  target::RawDatum CallTargetFunc(const std::string& name,
+                                  std::span<const target::RawDatum> args) override;
+  std::optional<dbg::VariableInfo> GetTargetVariable(const std::string& name) override;
+  std::optional<dbg::FunctionInfo> GetTargetFunction(const std::string& name) override;
+  target::TypeRef GetTargetTypedef(const std::string& name) override;
+  target::TypeRef GetTargetStruct(const std::string& tag) override;
+  target::TypeRef GetTargetUnion(const std::string& tag) override;
+  target::TypeRef GetTargetEnum(const std::string& tag) override;
+  std::optional<dbg::EnumeratorInfo> GetTargetEnumerator(const std::string& name) override;
+  size_t NumFrames() override;
+  std::string FrameFunction(size_t frame) override;
+  std::vector<dbg::FrameVariable> FrameLocals(size_t frame) override;
+  target::TypeTable& Types() override { return types_; }
+
+ private:
+  std::string Request(const std::string& payload);
+  target::TypeRef QueryType(const std::string& command, const std::string& name);
+
+  Transport* transport_;
+  target::TypeTable types_;  // client-side type universe
+};
+
+}  // namespace duel::rsp
+
+#endif  // DUEL_RSP_REMOTE_BACKEND_H_

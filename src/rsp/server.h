@@ -1,0 +1,47 @@
+// The debugger side of the DUEL remote protocol.
+//
+// RspServer answers requests against a local DebuggerBackend — this is what
+// a gdb hosting DUEL remotely would run. Request vocabulary (payloads; all
+// numbers hex, names hex-encoded, types in the ctype_io wire format):
+//
+//   m<addr>,<len>                read memory        -> <hexbytes> | E01
+//   M<addr>,<len>:<hexbytes>     write memory       -> OK | E01
+//   qValid:<addr>,<len>          validity check     -> OK | E01
+//   qAlloc:<size>,<align>        alloc target space -> A<addr>
+//   qVar:<name-hex>              variable lookup    -> V<addr>;<type> | E00
+//   qFunc:<name-hex>             function lookup    -> F<addr>;<type> | E00
+//   qTypedef:<name-hex>          typedef lookup     -> T<type> | E00
+//   qStruct:<tag-hex> / qUnion: / qEnum:            -> T<type> | E00
+//   qFrames                      frame count        -> N<count>
+//   qFrameFn:<n>                 frame function     -> F<name-hex>
+//   qFrameLocals:<n>             frame locals       -> L<name-hex>,<addr>,<type>;...
+//   vCall:<name-hex>:<type>,<hexbytes>;...          -> R<type>,<hexbytes> | E02:<msg-hex>
+//
+// Unknown requests get an empty response (the RSP convention).
+
+#ifndef DUEL_RSP_SERVER_H_
+#define DUEL_RSP_SERVER_H_
+
+#include <string>
+
+#include "src/dbg/backend.h"
+
+namespace duel::rsp {
+
+class RspServer {
+ public:
+  explicit RspServer(dbg::DebuggerBackend& backend) : backend_(&backend) {}
+
+  // Handles one request payload, returning the response payload.
+  std::string Handle(const std::string& request);
+
+  uint64_t requests_handled() const { return requests_; }
+
+ private:
+  dbg::DebuggerBackend* backend_;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace duel::rsp
+
+#endif  // DUEL_RSP_SERVER_H_

@@ -1,0 +1,93 @@
+#include "src/rsp/socket_transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace duel::rsp {
+
+namespace {
+
+void WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw DuelError(ErrorKind::kProtocol,
+                      StrPrintf("socket write failed: %s", strerror(errno)));
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(RspServer& server) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw DuelError(ErrorKind::kProtocol,
+                    StrPrintf("socketpair failed: %s", strerror(errno)));
+  }
+  client_fd_ = fds[0];
+  server_fd_ = fds[1];
+  server_thread_ = std::thread([this, &server] {
+    PacketDecoder rx;
+    char buf[512];
+    for (;;) {
+      ssize_t n = ::read(server_fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        return;  // peer closed: shut down
+      }
+      rx.Feed(buf, static_cast<size_t>(n));
+      while (auto request = rx.NextPacket()) {
+        const char ack = '+';
+        WriteAll(server_fd_, &ack, 1);
+        std::string response = EncodePacket(server.Handle(*request));
+        WriteAll(server_fd_, response.data(), response.size());
+      }
+    }
+  });
+}
+
+SocketTransport::~SocketTransport() {
+  if (client_fd_ >= 0) {
+    ::shutdown(client_fd_, SHUT_RDWR);
+    ::close(client_fd_);
+  }
+  if (server_thread_.joinable()) {
+    server_thread_.join();
+  }
+  if (server_fd_ >= 0) {
+    ::close(server_fd_);
+  }
+}
+
+std::string SocketTransport::RoundTrip(const std::string& request) {
+  round_trips_++;
+  std::string wire = EncodePacket(request);
+  bytes_on_wire_ += wire.size() + 1;  // +1 for the server's ack
+  WriteAll(client_fd_, wire.data(), wire.size());
+  char buf[512];
+  for (;;) {
+    if (auto response = client_rx_.NextPacket()) {
+      bytes_on_wire_ += response->size();
+      return *response;
+    }
+    ssize_t n = ::read(client_fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      throw DuelError(ErrorKind::kProtocol, "remote debugger closed the connection");
+    }
+    client_rx_.Feed(buf, static_cast<size_t>(n));
+    client_rx_.TakeAcks();
+  }
+}
+
+}  // namespace duel::rsp

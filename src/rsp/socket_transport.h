@@ -1,0 +1,40 @@
+// A real byte-stream transport: RSP packets over a socketpair, with the
+// server running in its own thread — the closest in-process analog of DUEL
+// attached to a remote debugger over TCP. Exercises partial reads, framing
+// resynchronization and acks on an actual kernel byte stream.
+
+#ifndef DUEL_RSP_SOCKET_TRANSPORT_H_
+#define DUEL_RSP_SOCKET_TRANSPORT_H_
+
+#include <thread>
+
+#include "src/rsp/transport.h"
+
+namespace duel::rsp {
+
+class SocketTransport final : public Transport {
+ public:
+  // Spawns a server thread answering requests from `server` over a
+  // socketpair. The backend behind `server` is only ever touched from the
+  // server thread while the client blocks in RoundTrip, so no extra locking
+  // is needed for the request/response discipline.
+  explicit SocketTransport(RspServer& server);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  std::string RoundTrip(const std::string& request) override;
+
+ private:
+  void ServeLoop();
+
+  int client_fd_ = -1;
+  int server_fd_ = -1;
+  std::thread server_thread_;
+  PacketDecoder client_rx_;
+};
+
+}  // namespace duel::rsp
+
+#endif  // DUEL_RSP_SOCKET_TRANSPORT_H_

@@ -1,0 +1,82 @@
+// Transports carrying RSP packets between the DUEL client and the debugger.
+
+#ifndef DUEL_RSP_TRANSPORT_H_
+#define DUEL_RSP_TRANSPORT_H_
+
+#include <string>
+
+#include "src/rsp/packet.h"
+#include "src/rsp/server.h"
+#include "src/support/error.h"
+
+namespace duel::rsp {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends one request payload and returns the response payload.
+  virtual std::string RoundTrip(const std::string& request) = 0;
+
+  uint64_t round_trips() const { return round_trips_; }
+  uint64_t bytes_on_wire() const { return bytes_on_wire_; }
+
+ protected:
+  uint64_t round_trips_ = 0;
+  uint64_t bytes_on_wire_ = 0;
+};
+
+// Calls the server directly, skipping framing: the lower bound on interface
+// cost (still string-encodes every request, like a same-process pipe).
+class DirectTransport final : public Transport {
+ public:
+  explicit DirectTransport(RspServer& server) : server_(&server) {}
+
+  std::string RoundTrip(const std::string& request) override {
+    round_trips_++;
+    bytes_on_wire_ += request.size();
+    std::string response = server_->Handle(request);
+    bytes_on_wire_ += response.size();
+    return response;
+  }
+
+ private:
+  RspServer* server_;
+};
+
+// Runs every request and response through the real $...#cs packet codec —
+// byte-identical to what would cross a socket to a remote gdb.
+class FramedTransport final : public Transport {
+ public:
+  explicit FramedTransport(RspServer& server) : server_(&server) {}
+
+  std::string RoundTrip(const std::string& request) override {
+    round_trips_++;
+    // Client -> server.
+    std::string wire = EncodePacket(request);
+    bytes_on_wire_ += wire.size() + 1;  // +1 for the ack
+    server_rx_.Feed(wire.data(), wire.size());
+    auto req = server_rx_.NextPacket();
+    if (!req.has_value()) {
+      throw DuelError(ErrorKind::kProtocol, "request packet did not survive framing");
+    }
+    // Server -> client.
+    std::string response_wire = EncodePacket(server_->Handle(*req));
+    bytes_on_wire_ += response_wire.size() + 1;
+    client_rx_.Feed(response_wire.data(), response_wire.size());
+    auto resp = client_rx_.NextPacket();
+    if (!resp.has_value()) {
+      throw DuelError(ErrorKind::kProtocol, "response packet did not survive framing");
+    }
+    return *resp;
+  }
+
+ private:
+  RspServer* server_;
+  PacketDecoder server_rx_;
+  PacketDecoder client_rx_;
+};
+
+}  // namespace duel::rsp
+
+#endif  // DUEL_RSP_TRANSPORT_H_

@@ -1,0 +1,51 @@
+// Scenario description files: debuggee images defined in text.
+//
+// The paper's examples assume a program stopped at a breakpoint with
+// interesting data in memory. This module lets that program state be
+// described in a small declaration language (reusing DUEL's lexer), so
+// sessions can be reproduced and shared without writing C++:
+//
+//   ## a compiler's symbol table
+//   struct symbol { char *name; int scope; struct symbol *next; }
+//
+//   struct symbol s0 = { "main", 4, &s1 }
+//   struct symbol s1 = { "argc", 3, 0 }
+//   struct symbol *hash[4] = { &s0, 0, 0, &s1 }
+//   int x[6] = { 3, -1, 4, 1, -5, 9 }
+//   double pi = 3.14159
+//   char *greeting = "hello"
+//
+//   frame main { int depth = 0 }      ## innermost frame last
+//
+// Rules: `struct`/`union` definitions first use wins; initializers are
+// scalars, strings (for char*), `&name` references (resolved after all
+// variables are allocated, so forward references work), or brace lists for
+// arrays/records (missing trailing elements are zero). `##` comments.
+
+#ifndef DUEL_SCENARIOS_SCENARIO_FILE_H_
+#define DUEL_SCENARIOS_SCENARIO_FILE_H_
+
+#include <string>
+
+#include "src/target/image.h"
+
+namespace duel::scenarios {
+
+// Loads a scenario description into `image`. Throws DuelError(kParse) with
+// a line-contextual message on malformed input.
+void LoadScenario(target::TargetImage& image, const std::string& source);
+
+// Convenience: reads `path` and loads it. Throws DuelError(kTarget) if the
+// file cannot be read.
+void LoadScenarioFile(target::TargetImage& image, const std::string& path);
+
+// The inverse: serializes an image's types, globals (with current memory
+// contents as initializers) and frames back into scenario text — a snapshot
+// of the debuggee state. Pointers to *named* variables round-trip as &name;
+// char* into anonymous storage round-trips as its string; other pointers
+// degrade to raw addresses (loadable, but tied to this image's layout).
+std::string DumpScenario(const target::TargetImage& image);
+
+}  // namespace duel::scenarios
+
+#endif  // DUEL_SCENARIOS_SCENARIO_FILE_H_

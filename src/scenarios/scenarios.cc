@@ -1,0 +1,349 @@
+#include "src/scenarios/scenarios.h"
+
+#include <cctype>
+
+#include "src/support/strings.h"
+
+namespace duel::scenarios {
+
+using target::ImageBuilder;
+using target::TypeRef;
+
+Addr BuildIntArray(TargetImage& image, const std::string& name,
+                   const std::vector<int32_t>& values) {
+  ImageBuilder b(image);
+  Addr base = b.Global(name, b.Arr(b.Int(), values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    b.PokeI32(base + i * 4, values[i]);
+  }
+  return base;
+}
+
+Addr BuildRandomIntArray(TargetImage& image, const std::string& name, size_t n, int32_t lo,
+                         int32_t hi, uint32_t seed) {
+  std::vector<int32_t> values(n);
+  uint32_t state = seed == 0 ? 1 : seed;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;  // Numerical Recipes LCG
+    uint32_t span = static_cast<uint32_t>(hi - lo + 1);
+    values[i] = lo + static_cast<int32_t>((state >> 8) % span);
+  }
+  return BuildIntArray(image, name, values);
+}
+
+namespace {
+
+// Declares (once) `struct List { int value; struct List *next; }` plus the
+// matching `typedef struct List List;` the paper's C code assumes.
+TypeRef ListType(ImageBuilder& b) {
+  TypeRef existing = b.types().LookupStruct("List");
+  if (existing != nullptr && existing->complete()) {
+    return existing;
+  }
+  TypeRef t = b.Struct("List")
+                  .Field("value", b.Int())
+                  .Field("next", b.Ptr(b.StructRef("List")))
+                  .Build();
+  b.types().DefineTypedef("List", t);
+  return t;
+}
+
+Addr BuildListNodes(ImageBuilder& b, const std::vector<int32_t>& values,
+                    std::vector<Addr>* nodes) {
+  TypeRef list = ListType(b);
+  nodes->clear();
+  for (int32_t v : values) {
+    Addr node = b.Alloc(list);
+    b.PokeI32(b.FieldAddr(node, list, "value"), v);
+    b.PokePtr(b.FieldAddr(node, list, "next"), 0);
+    if (!nodes->empty()) {
+      b.PokePtr(b.FieldAddr(nodes->back(), list, "next"), node);
+    }
+    nodes->push_back(node);
+  }
+  return nodes->empty() ? 0 : nodes->front();
+}
+
+}  // namespace
+
+Addr BuildList(TargetImage& image, const std::string& name,
+               const std::vector<int32_t>& values) {
+  ImageBuilder b(image);
+  TypeRef list = ListType(b);
+  std::vector<Addr> nodes;
+  Addr head = BuildListNodes(b, values, &nodes);
+  Addr global = b.Global(name, b.Ptr(list));
+  b.PokePtr(global, head);
+  return head;
+}
+
+Addr BuildCyclicList(TargetImage& image, const std::string& name,
+                     const std::vector<int32_t>& values, size_t cycle_to) {
+  ImageBuilder b(image);
+  TypeRef list = ListType(b);
+  std::vector<Addr> nodes;
+  Addr head = BuildListNodes(b, values, &nodes);
+  if (!nodes.empty() && cycle_to < nodes.size()) {
+    b.PokePtr(b.FieldAddr(nodes.back(), list, "next"), nodes[cycle_to]);
+  }
+  Addr global = b.Global(name, b.Ptr(list));
+  b.PokePtr(global, head);
+  return head;
+}
+
+Addr BuildDanglingList(TargetImage& image, const std::string& name,
+                       const std::vector<int32_t>& values, Addr dangling) {
+  ImageBuilder b(image);
+  TypeRef list = ListType(b);
+  std::vector<Addr> nodes;
+  Addr head = BuildListNodes(b, values, &nodes);
+  if (!nodes.empty()) {
+    b.PokePtr(b.FieldAddr(nodes.back(), list, "next"), dangling);
+  }
+  Addr global = b.Global(name, b.Ptr(list));
+  b.PokePtr(global, head);
+  return head;
+}
+
+namespace {
+
+TypeRef NodeType(ImageBuilder& b) {
+  TypeRef existing = b.types().LookupStruct("node");
+  if (existing != nullptr && existing->complete()) {
+    return existing;
+  }
+  return b.Struct("node")
+      .Field("key", b.Int())
+      .Field("left", b.Ptr(b.StructRef("node")))
+      .Field("right", b.Ptr(b.StructRef("node")))
+      .Build();
+}
+
+// Recursive-descent parser for "(key left right)" preorder tree specs.
+class TreeParser {
+ public:
+  TreeParser(ImageBuilder& b, const std::string& spec) : b_(&b), spec_(spec) {}
+
+  Addr Parse() {
+    Addr root = ParseNode();
+    SkipWs();
+    if (pos_ != spec_.size()) {
+      throw DuelError(ErrorKind::kInternal, "trailing characters in tree spec: " + spec_);
+    }
+    return root;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < spec_.size() &&
+           (isspace(static_cast<unsigned char>(spec_[pos_])) || spec_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  Addr ParseNode() {
+    SkipWs();
+    if (pos_ >= spec_.size() || spec_[pos_] != '(') {
+      throw DuelError(ErrorKind::kInternal, "expected '(' in tree spec: " + spec_);
+    }
+    ++pos_;
+    SkipWs();
+    if (pos_ < spec_.size() && spec_[pos_] == ')') {  // "()": empty subtree
+      ++pos_;
+      return 0;
+    }
+    bool neg = pos_ < spec_.size() && spec_[pos_] == '-';
+    if (neg) {
+      ++pos_;
+    }
+    int32_t key = 0;
+    bool any = false;
+    while (pos_ < spec_.size() && isdigit(static_cast<unsigned char>(spec_[pos_]))) {
+      key = key * 10 + (spec_[pos_++] - '0');
+      any = true;
+    }
+    if (!any) {
+      throw DuelError(ErrorKind::kInternal, "expected a key in tree spec: " + spec_);
+    }
+    if (neg) {
+      key = -key;
+    }
+    Addr left = 0, right = 0;
+    SkipWs();
+    if (pos_ < spec_.size() && spec_[pos_] == '(') {
+      left = ParseNode();
+      SkipWs();
+      if (pos_ < spec_.size() && spec_[pos_] == '(') {
+        right = ParseNode();
+      }
+    }
+    SkipWs();
+    if (pos_ >= spec_.size() || spec_[pos_] != ')') {
+      throw DuelError(ErrorKind::kInternal, "expected ')' in tree spec: " + spec_);
+    }
+    ++pos_;
+
+    TypeRef node = NodeType(*b_);
+    Addr addr = b_->Alloc(node);
+    b_->PokeI32(b_->FieldAddr(addr, node, "key"), key);
+    b_->PokePtr(b_->FieldAddr(addr, node, "left"), left);
+    b_->PokePtr(b_->FieldAddr(addr, node, "right"), right);
+    return addr;
+  }
+
+  ImageBuilder* b_;
+  const std::string& spec_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Addr BuildTree(TargetImage& image, const std::string& name, const std::string& preorder) {
+  ImageBuilder b(image);
+  TypeRef node = NodeType(b);
+  Addr root = TreeParser(b, preorder).Parse();
+  Addr global = b.Global(name, b.Ptr(node));
+  b.PokePtr(global, root);
+  return root;
+}
+
+namespace {
+
+TypeRef SymbolType(ImageBuilder& b) {
+  TypeRef existing = b.types().LookupStruct("symbol");
+  if (existing != nullptr && existing->complete()) {
+    return existing;
+  }
+  return b.Struct("symbol")
+      .Field("name", b.Ptr(b.Char()))
+      .Field("scope", b.Int())
+      .Field("next", b.Ptr(b.StructRef("symbol")))
+      .Build();
+}
+
+}  // namespace
+
+void BuildSymtab(TargetImage& image, const std::map<size_t, std::vector<SymEntry>>& chains,
+                 size_t buckets) {
+  ImageBuilder b(image);
+  TypeRef sym = SymbolType(b);
+  Addr hash = b.Global("hash", b.Arr(b.Ptr(sym), buckets));
+  for (const auto& [bucket, entries] : chains) {
+    if (bucket >= buckets) {
+      throw DuelError(ErrorKind::kInternal, "symtab bucket out of range");
+    }
+    Addr prev = 0;
+    Addr first = 0;
+    for (const SymEntry& e : entries) {
+      Addr node = b.Alloc(sym);
+      b.PokePtr(b.FieldAddr(node, sym, "name"), b.String(e.name));
+      b.PokeI32(b.FieldAddr(node, sym, "scope"), e.scope);
+      b.PokePtr(b.FieldAddr(node, sym, "next"), 0);
+      if (prev != 0) {
+        b.PokePtr(b.FieldAddr(prev, sym, "next"), node);
+      } else {
+        first = node;
+      }
+      prev = node;
+    }
+    b.PokePtr(hash + bucket * 8, first);
+  }
+}
+
+void BuildDenseSymtab(TargetImage& image, size_t buckets, uint32_t seed) {
+  std::map<size_t, std::vector<SymEntry>> chains;
+  uint32_t state = seed == 0 ? 1 : seed;
+  for (size_t bkt = 0; bkt < buckets; ++bkt) {
+    state = state * 1664525u + 1013904223u;
+    size_t len = 1 + (state >> 16) % 4;
+    std::vector<SymEntry> chain;
+    int32_t scope = static_cast<int32_t>(len);
+    for (size_t i = 0; i < len; ++i) {
+      chain.push_back(SymEntry{StrPrintf("sym_%zu_%zu", bkt, i), scope--});
+    }
+    chains[bkt] = std::move(chain);
+  }
+  BuildSymtab(image, chains, buckets);
+}
+
+size_t BuildHeap(TargetImage& image, const HeapSpec& spec) {
+  ImageBuilder b(image);
+  TypeRef chunk = b.Struct("chunk")
+                      .Field("size", b.types().ULong())
+                      .Field("used", b.Int())
+                      .Field("bin", b.Int())
+                      .Field("fd", b.Ptr(b.StructRef("chunk")))
+                      .Build();
+  // Sizes: header (24 bytes) + payload in one of four bins.
+  static const size_t kBinPayload[4] = {8, 24, 56, 120};
+  uint32_t state = spec.seed == 0 ? 1 : spec.seed;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 8;
+  };
+
+  std::vector<size_t> sizes;
+  std::vector<int> bins;
+  std::vector<bool> used;
+  size_t total = 0;
+  for (size_t i = 0; i < spec.chunk_count; ++i) {
+    int bin = static_cast<int>(next() % 4);
+    bins.push_back(bin);
+    sizes.push_back(chunk->size() + kBinPayload[bin]);
+    used.push_back(next() % 3 != 0);  // ~2/3 in use
+    total += sizes.back();
+  }
+
+  Addr arena = b.Global("arena", b.Arr(b.Char(), total));
+  Addr bins_var = b.Global("bins", b.Arr(b.Ptr(chunk), 4));
+  Addr end_var = b.Global("arena_end", b.Ptr(b.Char()));
+  b.PokePtr(end_var, arena + total);
+
+  Addr bin_tail[4] = {0, 0, 0, 0};
+  Addr at = arena;
+  for (size_t i = 0; i < spec.chunk_count; ++i) {
+    uint64_t size = sizes[i];
+    if (i == spec.corrupt_index) {
+      size = static_cast<uint64_t>(spec.corrupt_size);
+    }
+    b.PokeU64(b.FieldAddr(at, chunk, "size"), size);
+    b.PokeI32(b.FieldAddr(at, chunk, "used"), used[i] ? 1 : 0);
+    b.PokeI32(b.FieldAddr(at, chunk, "bin"), bins[i]);
+    b.PokePtr(b.FieldAddr(at, chunk, "fd"), 0);
+    if (!used[i]) {
+      // Append to the bin's free list.
+      if (bin_tail[bins[i]] == 0) {
+        b.PokePtr(bins_var + static_cast<size_t>(bins[i]) * 8, at);
+      } else {
+        b.PokePtr(b.FieldAddr(bin_tail[bins[i]], chunk, "fd"), at);
+      }
+      bin_tail[bins[i]] = at;
+    }
+    at += sizes[i];  // layout always advances by the TRUE size
+  }
+  return total;
+}
+
+void BuildArgv(TargetImage& image, const std::vector<std::string>& args) {
+  ImageBuilder b(image);
+  TypeRef char_ptr = b.Ptr(b.Char());
+  Addr argv = b.Global("argv", b.Arr(char_ptr, args.size() + 1));
+  for (size_t i = 0; i < args.size(); ++i) {
+    b.PokePtr(argv + i * 8, b.String(args[i]));
+  }
+  b.PokePtr(argv + args.size() * 8, 0);
+  Addr argc = b.Global("argc", b.Int());
+  b.PokeI32(argc, static_cast<int32_t>(args.size()));
+}
+
+void BuildFrames(TargetImage& image, size_t depth) {
+  ImageBuilder b(image);
+  // Outermost first so that frame 0 ends up innermost.
+  for (size_t i = depth; i-- > 0;) {
+    b.PushFrame(StrPrintf("fn%zu", i));
+    Addr x = b.FrameLocal("x", b.Int());
+    b.PokeI32(x, static_cast<int32_t>(10 * i));
+  }
+}
+
+}  // namespace duel::scenarios

@@ -1,0 +1,120 @@
+// Canned debuggee programs: the data structures the paper's examples query.
+//
+// Each builder reconstructs, in simulated target memory, the program state
+// the paper assumes at its breakpoints: the compiler symbol table
+// `struct symbol *hash[1024]`, linked lists threaded through `next`, binary
+// trees with `key/left/right`, argv vectors, and plain arrays. Contents are
+// deterministic so the golden paper-example tests reproduce the paper's
+// printed outputs.
+
+#ifndef DUEL_SCENARIOS_SCENARIOS_H_
+#define DUEL_SCENARIOS_SCENARIOS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/target/builder.h"
+#include "src/target/image.h"
+
+namespace duel::scenarios {
+
+using target::Addr;
+using target::TargetImage;
+
+// --- arrays -------------------------------------------------------------
+
+// Defines `int name[values.size()]` with the given contents.
+Addr BuildIntArray(TargetImage& image, const std::string& name,
+                   const std::vector<int32_t>& values);
+
+// Defines `int name[n]`, filled with a deterministic pseudo-random pattern
+// (LCG with `seed`), values in [lo, hi].
+Addr BuildRandomIntArray(TargetImage& image, const std::string& name, size_t n, int32_t lo,
+                         int32_t hi, uint32_t seed);
+
+// --- linked lists ----------------------------------------------------------
+//
+//   struct List { int value; struct List *next; };
+
+// Defines `struct List *name` heading a list with the given values.
+// Returns the address of the first node (0 for an empty list).
+Addr BuildList(TargetImage& image, const std::string& name,
+               const std::vector<int32_t>& values);
+
+// Like BuildList but links the last node back to the node at `cycle_to`
+// (index into values), producing a cyclic list for the cycle-detection
+// extension tests.
+Addr BuildCyclicList(TargetImage& image, const std::string& name,
+                     const std::vector<int32_t>& values, size_t cycle_to);
+
+// Like BuildList but makes the final `next` a dangling (invalid, non-null)
+// pointer, for the "invalid pointer terminates the sequence" rule.
+Addr BuildDanglingList(TargetImage& image, const std::string& name,
+                       const std::vector<int32_t>& values, Addr dangling);
+
+// --- binary trees ------------------------------------------------------------
+//
+//   struct node { int key; struct node *left, *right; };
+//
+// The tree is given in the paper's preorder notation, e.g.
+//   "(9 (3 (4) (5)) (12))"
+// Empty subtrees may be omitted or written "()".
+
+Addr BuildTree(TargetImage& image, const std::string& name, const std::string& preorder);
+
+// --- the compiler symbol table ----------------------------------------------
+//
+//   struct symbol { char *name; int scope; struct symbol *next; } *hash[1024];
+
+struct SymEntry {
+  std::string name;
+  int32_t scope = 0;
+};
+
+// Defines `hash` with `buckets` buckets; `chains[b]` gives the symbols of
+// bucket b front-to-back. Unlisted buckets are NULL.
+void BuildSymtab(TargetImage& image, const std::map<size_t, std::vector<SymEntry>>& chains,
+                 size_t buckets = 1024);
+
+// Fills every bucket of a `buckets`-sized table with a short deterministic
+// chain (scopes strictly decreasing within each chain), for whole-table
+// sweeps like `hash[0..1023]->scope = 0 ;`.
+void BuildDenseSymtab(TargetImage& image, size_t buckets = 1024, uint32_t seed = 1);
+
+// --- argv ----------------------------------------------------------------------
+
+// Defines `char *argv[args.size()+1]` (NULL-terminated) and `int argc`.
+void BuildArgv(TargetImage& image, const std::vector<std::string>& args);
+
+// --- a malloc-style heap arena --------------------------------------------------
+//
+//   struct chunk { unsigned long size; int used; int bin; struct chunk *fd; };
+//
+// Chunks are laid head-to-tail in a contiguous `arena` region: the chunk
+// after `c` starts at (char *)c + c->size. Free chunks are threaded per-bin
+// through `fd` from `bins[bin]`. Globals: char arena[bytes]; struct chunk
+// *bins[4]; char *arena_end.
+
+struct HeapSpec {
+  size_t chunk_count = 16;
+  uint32_t seed = 1;
+  // Index of a chunk whose size field gets corrupted (SIZE_MAX = none).
+  size_t corrupt_index = static_cast<size_t>(-1);
+  int64_t corrupt_size = 0;
+};
+
+// Builds the arena; returns the number of bytes used. Deterministic.
+size_t BuildHeap(TargetImage& image, const HeapSpec& spec);
+
+// --- frames (extension) ----------------------------------------------------------
+
+// Pushes `depth` stack frames, each for function `fn<i>` with a local
+// `int x = 10*i`, innermost first — the Discussion section's "local x in all
+// of the currently active stack frames".
+void BuildFrames(TargetImage& image, size_t depth);
+
+}  // namespace duel::scenarios
+
+#endif  // DUEL_SCENARIOS_SCENARIOS_H_

@@ -1,0 +1,39 @@
+// Lightweight instrumentation counters.
+//
+// The experiments in EXPERIMENTS.md report operation counts (target bytes
+// moved, symbol lookups, eval steps) alongside wall-clock times, since
+// absolute 1992-era timings are not reproducible.
+
+#ifndef DUEL_SUPPORT_COUNTERS_H_
+#define DUEL_SUPPORT_COUNTERS_H_
+
+#include <cstdint>
+
+namespace duel {
+
+struct BackendCounters {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_calls = 0;
+  uint64_t write_calls = 0;
+  uint64_t symbol_lookups = 0;
+  uint64_t type_lookups = 0;
+  uint64_t target_calls = 0;
+  uint64_t allocations = 0;
+
+  void Reset() { *this = BackendCounters(); }
+};
+
+struct EvalCounters {
+  uint64_t eval_steps = 0;       // calls into eval() / generator resumptions
+  uint64_t values_produced = 0;  // values yielded by the root expression
+  uint64_t applies = 0;          // primitive operator applications
+  uint64_t name_lookups = 0;     // identifier resolutions (aliases + target)
+  uint64_t symbolic_builds = 0;  // symbolic-value string compositions
+
+  void Reset() { *this = EvalCounters(); }
+};
+
+}  // namespace duel
+
+#endif  // DUEL_SUPPORT_COUNTERS_H_

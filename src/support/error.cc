@@ -1,0 +1,29 @@
+#include "src/support/error.h"
+
+namespace duel {
+
+const char* ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kLex:
+      return "lexical error";
+    case ErrorKind::kParse:
+      return "syntax error";
+    case ErrorKind::kType:
+      return "type error";
+    case ErrorKind::kName:
+      return "unknown name";
+    case ErrorKind::kMemory:
+      return "illegal memory reference";
+    case ErrorKind::kTarget:
+      return "target error";
+    case ErrorKind::kLimit:
+      return "evaluation limit exceeded";
+    case ErrorKind::kProtocol:
+      return "protocol error";
+    case ErrorKind::kInternal:
+      return "internal error";
+  }
+  return "error";
+}
+
+}  // namespace duel

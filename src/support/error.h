@@ -1,0 +1,80 @@
+// Error types shared by every layer of the DUEL reproduction.
+//
+// The original DUEL reports errors by printing the symbolic value of the
+// offending operand, e.g.
+//     Illegal memory reference in x of x->y: ptr[48] = lvalue 0x16820.
+// Errors here carry the same ingredients: a category, a human message, and an
+// optional symbolic context filled in by the evaluator.
+
+#ifndef DUEL_SUPPORT_ERROR_H_
+#define DUEL_SUPPORT_ERROR_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace duel {
+
+// A half-open byte range into the query text, used for diagnostics.
+struct SourceRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool empty() const { return begin >= end; }
+};
+
+enum class ErrorKind {
+  kLex,      // malformed token
+  kParse,    // syntax error
+  kType,     // evaluation-time type error (DUEL type-checks during evaluation)
+  kName,     // unknown identifier
+  kMemory,   // illegal target memory reference
+  kTarget,   // debugger/backend failure (call failed, bad frame, ...)
+  kLimit,    // evaluation fuel / recursion limit exceeded
+  kProtocol, // RSP / MI framing or protocol error
+  kInternal, // invariant violation in this library
+};
+
+const char* ErrorKindName(ErrorKind kind);
+
+class DuelError : public std::runtime_error {
+ public:
+  DuelError(ErrorKind kind, std::string message)
+      : std::runtime_error(std::move(message)), kind_(kind) {}
+  DuelError(ErrorKind kind, std::string message, SourceRange range)
+      : std::runtime_error(std::move(message)), kind_(kind), range_(range) {}
+
+  ErrorKind kind() const { return kind_; }
+  const SourceRange& range() const { return range_; }
+
+  // The symbolic value of the offending operand, e.g. "ptr[48]". Set by the
+  // evaluator when it can attribute the fault to a subexpression.
+  const std::string& symbolic_context() const { return symbolic_context_; }
+  void set_symbolic_context(std::string sym) { symbolic_context_ = std::move(sym); }
+
+ private:
+  ErrorKind kind_;
+  SourceRange range_;
+  std::string symbolic_context_;
+};
+
+// Thrown by the target memory subsystem on an invalid access; the evaluator
+// converts this into the paper's "Illegal memory reference" report (or treats
+// it as end-of-walk inside graph expansion).
+class MemoryFault : public DuelError {
+ public:
+  MemoryFault(uint64_t addr, size_t size, std::string message)
+      : DuelError(ErrorKind::kMemory, std::move(message)), addr_(addr), size_(size) {}
+
+  uint64_t addr() const { return addr_; }
+  size_t size() const { return size_; }
+
+ private:
+  uint64_t addr_;
+  size_t size_;
+};
+
+}  // namespace duel
+
+#endif  // DUEL_SUPPORT_ERROR_H_

@@ -1,0 +1,84 @@
+// A minimal C++20 coroutine generator, used by the coroutine evaluation
+// engine (Engine B). GCC 12 has no std::generator, so we provide our own.
+//
+// Exceptions thrown inside the coroutine are re-thrown from Next()/iteration,
+// which the DUEL session layer relies on for error reporting.
+
+#ifndef DUEL_SUPPORT_GENERATOR_H_
+#define DUEL_SUPPORT_GENERATOR_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace duel {
+
+template <typename T>
+class Generator {
+ public:
+  struct promise_type {
+    std::optional<T> current;
+    std::exception_ptr exception;
+
+    Generator get_return_object() {
+      return Generator(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(T value) {
+      current = std::move(value);
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Generator() = default;
+  explicit Generator(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Generator(Generator&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Generator& operator=(Generator&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+  ~Generator() { Destroy(); }
+
+  // Produces the next value, or nullopt when the sequence is exhausted.
+  std::optional<T> Next() {
+    if (!handle_ || handle_.done()) {
+      return std::nullopt;
+    }
+    handle_.promise().current.reset();
+    handle_.resume();
+    if (handle_.promise().exception) {
+      std::exception_ptr ex = handle_.promise().exception;
+      handle_.promise().exception = nullptr;
+      std::rethrow_exception(ex);
+    }
+    if (handle_.done()) {
+      return std::nullopt;
+    }
+    return std::move(handle_.promise().current);
+  }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace duel
+
+#endif  // DUEL_SUPPORT_GENERATOR_H_

@@ -1,0 +1,182 @@
+#include "src/support/strings.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace duel {
+
+std::string StrVPrintf(const char* fmt, va_list ap) {
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = vsnprintf(nullptr, 0, fmt, ap2);
+  va_end(ap2);
+  if (n <= 0) {
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  vsnprintf(out.data(), out.size() + 1, fmt, ap);
+  return out;
+}
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::string out = StrVPrintf(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string EscapeChar(char c) {
+  switch (c) {
+    case '\n':
+      return "\\n";
+    case '\t':
+      return "\\t";
+    case '\r':
+      return "\\r";
+    case '\0':
+      return "\\0";
+    case '\a':
+      return "\\a";
+    case '\b':
+      return "\\b";
+    case '\f':
+      return "\\f";
+    case '\v':
+      return "\\v";
+    case '\\':
+      return "\\\\";
+    case '\'':
+      return "\\'";
+    case '"':
+      return "\\\"";
+    default:
+      break;
+  }
+  unsigned char uc = static_cast<unsigned char>(c);
+  if (uc < 0x20 || uc >= 0x7f) {
+    return StrPrintf("\\%03o", uc);
+  }
+  return std::string(1, c);
+}
+
+std::string EscapeString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\'') {
+      out.push_back('\'');  // ' needs no escape inside a string literal
+    } else {
+      out += EscapeChar(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double d) {
+  if (std::isnan(d)) {
+    return "nan";
+  }
+  if (std::isinf(d)) {
+    return d < 0 ? "-inf" : "inf";
+  }
+  // Try increasing precision until the value round-trips.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::string s = StrPrintf("%.*g", prec, d);
+    double back = strtod(s.c_str(), nullptr);
+    if (back == d) {
+      return s;
+    }
+  }
+  return StrPrintf("%.17g", d);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+namespace {
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+bool ParseHexU64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    int d = HexDigit(c);
+    if (d < 0) {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+std::string HexU64(uint64_t v) { return StrPrintf("%llx", static_cast<unsigned long long>(v)); }
+
+std::string HexEncode(const void* data, size_t n) {
+  static const char kDigits[] = "0123456789abcdef";
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  std::string out;
+  out.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[p[i] >> 4]);
+    out.push_back(kDigits[p[i] & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(std::string_view s, std::vector<uint8_t>* out) {
+  if (s.size() % 2 != 0) {
+    return false;
+  }
+  out->clear();
+  out->reserve(s.size() / 2);
+  for (size_t i = 0; i < s.size(); i += 2) {
+    int hi = HexDigit(s[i]);
+    int lo = HexDigit(s[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out->push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace duel

@@ -1,0 +1,107 @@
+// The conventional-debugger baseline: evaluates C, rejects DUEL operators,
+// and agrees with DUEL on the paper's motivating queries (experiment E6's
+// correctness half).
+
+#include "src/baseline/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/duel/parser.h"
+#include "tests/duel_test_util.h"
+
+namespace duel {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : ctx_(fx_.backend(), EvalOptions()) {}
+
+  std::string Run(const std::string& src) {
+    return baseline::RunBaselineQuery(fx_.backend(), ctx_, src);
+  }
+
+  DuelFixture fx_;
+  EvalContext ctx_;
+};
+
+TEST_F(BaselineTest, PrintsCExpressions) {
+  EXPECT_EQ(Run("1 + (double)3/2"), "2.5");
+  EXPECT_EQ(Run("(3+4)*2"), "14");
+  EXPECT_EQ(Run("1 << 10"), "1024");
+}
+
+TEST_F(BaselineTest, ShortCircuitSemantics) {
+  // C's && must not evaluate the right side when the left is false —
+  // dereferencing a null pointer here would fault.
+  target::ImageBuilder b(fx_.image());
+  target::TypeRef t = b.Struct("T").Field("v", b.Int()).Build();
+  target::Addr p = b.Global("p", b.Ptr(t));
+  b.PokePtr(p, 0);
+  EXPECT_EQ(Run("p != 0 && p->v > 0"), "0");
+  EXPECT_EQ(Run("p == 0 || p->v > 0"), "1");
+}
+
+TEST_F(BaselineTest, StatementsAndLoops) {
+  scenarios::BuildIntArray(fx_.image(), "x", {3, -1, 4, -5, 9});
+  EXPECT_EQ(Run("int i, total; total = 0;"
+                "for (i = 0; i < 5; i++) if (x[i] > 0) total = total + x[i]; total"),
+            "16");
+}
+
+TEST_F(BaselineTest, PaperIntroListDuplicateProgram) {
+  // The Introduction's C code (with its bug fixed: q starts at p->next).
+  scenarios::BuildList(fx_.image(), "L", {11, 27, 33, 27, 8});
+  Run("List *p, *q;"
+      "for (p = L; p; p = p->next)"
+      "  for (q = p->next; q; q = q->next)"
+      "    if (p->value == q->value)"
+      "      printf(\"dup %d\\n\", p->value);");
+  EXPECT_EQ(fx_.image().TakeOutput(), "dup 27\n");
+}
+
+TEST_F(BaselineTest, HashScanProgramMatchesDuelOneLiner) {
+  std::map<size_t, std::vector<scenarios::SymEntry>> chains;
+  chains[42] = {{"deep", 7}};
+  chains[529] = {{"deeper", 8}};
+  chains[7] = {{"shallow", 2}};
+  scenarios::BuildSymtab(fx_.image(), chains, 1024);
+
+  Run("int i;"
+      "for (i = 0; i < 1024; i++)"
+      "  if (hash[i] != 0)"
+      "    if (hash[i]->scope > 5)"
+      "      printf(\"hash[%d]->scope = %d\\n\", i, hash[i]->scope);");
+  std::string baseline_out = fx_.image().TakeOutput();
+  EXPECT_EQ(baseline_out, "hash[42]->scope = 7\nhash[529]->scope = 8\n");
+
+  // The DUEL one-liner finds the same elements.
+  std::vector<std::string> duel_lines = fx_.Lines("(hash[..1024] !=? 0)->scope >? 5");
+  ASSERT_EQ(duel_lines.size(), 2u);
+  EXPECT_EQ(duel_lines[0] + "\n" + duel_lines[1] + "\n", baseline_out);
+}
+
+TEST_F(BaselineTest, RejectsDuelOperators) {
+  scenarios::BuildIntArray(fx_.image(), "x", {1, 2, 3});
+  EXPECT_THROW(Run("x[0..2]"), DuelError);
+  EXPECT_THROW(Run("x[0] >? 0"), DuelError);
+  EXPECT_THROW(Run("#/x"), DuelError);
+  EXPECT_THROW(Run("x := 1"), DuelError);
+}
+
+TEST_F(BaselineTest, DeclarationsAndTypedefPredicate) {
+  fx_.image().types().DefineTypedef("myint", fx_.image().types().Int());
+  EXPECT_EQ(Run("myint v; v = 41; v + 1"), "42");
+}
+
+TEST_F(BaselineTest, MemberAccessBothForms) {
+  scenarios::BuildList(fx_.image(), "L", {7});
+  EXPECT_EQ(Run("L->value"), "7");
+  EXPECT_EQ(Run("(*L).value"), "7");
+}
+
+TEST_F(BaselineTest, CommaIsSequencingNotAlternation) {
+  EXPECT_EQ(Run("int i; (i = 3, i + 1)"), "4");
+}
+
+}  // namespace
+}  // namespace duel

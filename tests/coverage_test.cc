@@ -1,0 +1,145 @@
+// Cross-cutting integration coverage: large rvalues through the ByteStore,
+// prebind/lazy-symbolic over the remote backend, scenario files driving the
+// stepping debugger, deeply composed types.
+
+#include <gtest/gtest.h>
+
+#include "src/exec/debugger.h"
+#include "src/rsp/remote_backend.h"
+#include "src/rsp/server.h"
+#include "src/rsp/transport.h"
+#include "src/scenarios/scenario_file.h"
+#include "tests/duel_test_util.h"
+
+namespace duel {
+namespace {
+
+TEST(ByteStoreTest, LargeRecordRvaluesSpillToHeap) {
+  // A 40-byte struct rvalue exceeds the 16-byte inline buffer.
+  DuelFixture fx;
+  target::ImageBuilder b(fx.image());
+  target::TypeRef wide = b.Struct("wide")
+                             .Field("a", b.Arr(b.Int(), 8))
+                             .Field("tail", b.Long())
+                             .Build();
+  ASSERT_EQ(wide->size(), 40u);
+  target::Addr src = b.Global("src", wide);
+  b.Global("dst", wide);
+  for (int i = 0; i < 8; ++i) {
+    b.PokeI32(src + i * 4, i + 1);
+  }
+  b.PokeI64(src + 32, 99);
+  // Whole-struct assignment flows the 40-byte rvalue through Value.
+  fx.Lines("dst = src ;");
+  EXPECT_EQ(fx.One("{dst.tail}"), "99");
+  EXPECT_EQ(fx.One("+/(dst.a[..8])"), "36");
+  // Member extraction from a record *rvalue* slices the heap buffer.
+  EXPECT_EQ(fx.One("{(*&src).tail}"), "99");
+}
+
+TEST(ByteStoreTest, ValueCopiesAreIndependent) {
+  Sym none = Sym::None();
+  std::vector<uint8_t> big(40, 7);
+  target::TypeTable tt;
+  Value a = Value::RV(tt.ArrayOf(tt.Char(), 40), big.data(), big.size(), none);
+  Value b = a;  // copy
+  Value c = std::move(a);
+  EXPECT_EQ(b.bytes().size(), 40u);
+  EXPECT_EQ(c.bytes().size(), 40u);
+  EXPECT_EQ(b.bytes()[39], 7);
+}
+
+class RemoteFeatureTest : public ::testing::Test {
+ protected:
+  RemoteFeatureTest()
+      : sim_(image_), server_(sim_), transport_(server_), remote_(transport_) {
+    target::InstallStandardFunctions(image_);
+    scenarios::BuildIntArray(image_, "x", {5, -2, 8, 0});
+    scenarios::BuildList(image_, "L", {1, 2, 3});
+  }
+
+  target::TargetImage image_;
+  dbg::SimBackend sim_;
+  rsp::RspServer server_;
+  rsp::FramedTransport transport_;
+  rsp::RemoteBackend remote_;
+};
+
+TEST_F(RemoteFeatureTest, PrebindWorksOverTheWire) {
+  SessionOptions opts;
+  opts.eval.prebind = true;
+  Session session(remote_, opts);
+  EXPECT_EQ(session.Query("x[..4] >? 0").lines,
+            (std::vector<std::string>{"x[0] = 5", "x[2] = 8"}));
+  // The second run should make almost no qVar requests.
+  uint64_t before = server_.requests_handled();
+  session.Drive("#/(x[..4] >? 0)");
+  uint64_t var_queries_possible = server_.requests_handled() - before;
+  EXPECT_LT(var_queries_possible, 40u);  // reads dominate; lookup bound once
+}
+
+TEST_F(RemoteFeatureTest, LazySymbolicsOverTheWire) {
+  SessionOptions opts;
+  opts.eval.sym_mode = EvalOptions::SymMode::kLazy;
+  Session session(remote_, opts);
+  EXPECT_EQ(session.Query("L-->next->value").lines,
+            (std::vector<std::string>{"L->value = 1", "L->next->value = 2",
+                                      "L->next->next->value = 3"}));
+}
+
+TEST(ScenarioExecTest, ScenarioFileProgramsStepTogether) {
+  // A scenario file defines the data; a program mutates it; DUEL guards it.
+  DuelFixture fx;
+  scenarios::LoadScenario(fx.image(), R"(
+    struct List { int value; struct List *next; }
+    struct List n0 = { 10, &n1 }
+    struct List n1 = { 20, &n2 }
+    struct List n2 = { 30, 0 }
+    struct List *L = &n0
+  )");
+  exec::TargetProgram program = exec::TargetProgram::Parse(
+      {
+          "L->next->value = 21;",
+          "L->next->next->value = 5;",   // breaks the increasing invariant
+      },
+      fx.image());
+  exec::Debugger dbg(fx.image(), fx.backend(), program);
+  dbg.AddAssertion("increasing", "L-->next->(if (next) value < next->value else 1)");
+  exec::StopInfo s = dbg.Continue();
+  EXPECT_EQ(s.reason, exec::StopReason::kAssertion);
+  EXPECT_EQ(s.line, 1u);
+  EXPECT_NE(s.detail.find("increasing"), std::string::npos) << s.detail;
+}
+
+TEST(DeepTypesTest, ArrayOfArrayOfStruct) {
+  DuelFixture fx;
+  target::ImageBuilder b(fx.image());
+  target::TypeRef cell = b.Struct("cell").Field("v", b.Int()).Build();
+  target::Addr grid = b.Global("grid", b.Arr(b.Arr(cell, 3), 2));
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      b.PokeI32(grid + (r * 3 + c) * 4, r * 10 + c);
+    }
+  }
+  EXPECT_EQ(fx.One("{grid[1][2].v}"), "12");
+  EXPECT_EQ(fx.One("+/(grid[..2][..3].v)"), "36");
+  EXPECT_EQ(fx.One("{sizeof grid}"), "24");
+}
+
+TEST(LazyEngineEquivalenceTest, LazyModeIdenticalAcrossEngines) {
+  for (EngineKind kind : {EngineKind::kStateMachine, EngineKind::kCoroutine}) {
+    SessionOptions opts;
+    opts.engine = kind;
+    opts.eval.sym_mode = EvalOptions::SymMode::kLazy;
+    DuelFixture fx(opts);
+    scenarios::BuildList(fx.image(), "L", {11, 22, 33, 44, 27, 55, 66, 77, 88, 27});
+    EXPECT_EQ(fx.Lines("L-->next->(value ==? next-->next->value)"),
+              (std::vector<std::string>{"L-->next[[4]]->value = 27"}));
+    EXPECT_EQ(fx.Lines("L-->next->value[[3,5]]"),
+              (std::vector<std::string>{"L-->next[[3]]->value = 44",
+                                        "L-->next[[5]]->value = 55"}));
+  }
+}
+
+}  // namespace
+}  // namespace duel

@@ -1,0 +1,291 @@
+// Property tests: Engine A (state machine) and Engine B (coroutines) must
+// produce identical output for every query — on a hand-picked corpus, on
+// seeded randomly-generated expressions, and under algebraic laws.
+
+#include <gtest/gtest.h>
+
+#include "src/support/strings.h"
+#include "tests/duel_test_util.h"
+
+namespace duel {
+namespace {
+
+void BuildRichImage(target::TargetImage& image) {
+  scenarios::BuildIntArray(image, "x", {3, -1, 4, 1, -5, 9, 2, 6, -5, 3});
+  scenarios::BuildList(image, "L", {5, 3, 8, 3, 9});
+  scenarios::BuildTree(image, "root", "(9 (3 (4) (5)) (12))");
+  scenarios::BuildSymtab(image, {{0, {{"a", 4}, {"b", 3}}}, {2, {{"c", 9}}}});
+  scenarios::BuildArgv(image, {"prog", "-x"});
+}
+
+std::pair<QueryResult, QueryResult> RunBoth(const std::string& expr) {
+  std::pair<QueryResult, QueryResult> out;
+  {
+    DuelFixture fx;
+    BuildRichImage(fx.image());
+    out.first = fx.session().Query(expr);
+  }
+  {
+    DuelFixture fx(CoroOptions());
+    BuildRichImage(fx.image());
+    out.second = fx.session().Query(expr);
+  }
+  return out;
+}
+
+void ExpectEnginesAgree(const std::string& expr) {
+  auto [sm, coro] = RunBoth(expr);
+  EXPECT_EQ(sm.ok, coro.ok) << expr << "\nsm: " << sm.error << "\ncoro: " << coro.error;
+  EXPECT_EQ(sm.lines, coro.lines) << expr;
+}
+
+class CorpusTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusTest, EnginesAgree) { ExpectEnginesAgree(GetParam()); }
+
+const char* kCorpus[] = {
+    "1+2*3",
+    "(1..5)*(1..5)",
+    "(1,5)..(5,10)",
+    "x[..10] >? 0",
+    "x[..10] >? 0 <? 5",
+    "x[1..4,8] ==? (1..4)",
+    "x[..10] == 3",
+    "#/x[..10]",
+    "+/x[..10]",
+    "&&/(x[..10] != 0)",
+    "||/(x[..10] ==? 9)",
+    "(1..3) === (1..3)",
+    "(1..3) === (1,2)",
+    "x[..10]#i ==? 3 => {i}",
+    "y := x[..10] => if (y < 0) y",
+    "x[..10].if (_ < 0) _",
+    "L-->next->value",
+    "L-->next->value[[1,3]]",
+    "L-->next->(value ==? next-->next->value)",
+    "root-->(left,right)->key",
+    "root-->>(left,right)->key",
+    "#/(root-->(left,right)->key)",
+    "hash[..3]->(if (_ && scope > 3) name)",
+    "hash[0]-->next->scope",
+    "argv[0..]@0",
+    "i := 1..3 => {i} + 4",
+    "i := 1..3; i + 4",
+    "int i; for (i = 0; i < 9; i++) 4 + if (i%3==0) {i}*5",
+    "int i; i = 0; while (i < 4) (i = i + 1; {i})",
+    "(0,2,0,3) && (7,8)",
+    "(0,2) || (7,8)",
+    "(1..4) ? 10 : 20",
+    "((1..9)*(1..9))[[52,74]]",
+    "x[0..9]@(-5)",
+    "x[0..]@(_ == 9)",
+    "sizeof(struct symbol)",
+    "(long)x[0] + 1",
+    "-x[..5]",
+    "!x[..5]",
+    "~x[..3]",
+    "&x[2]",
+    "*&x[2]",
+    "x[..3] << 2",
+    "x[..3] & 1",
+    "x[..3] | 8",
+    "x[..3] ^ 5",
+    "printf(\"%d;\", 1..3) ;",
+    "{x[..4]}",
+    "x[(0,2)..(3,4)]",
+    "1 ? (1..3) : 5",
+    "0 ? (1..3) : (5,6)",
+    "(x[..10] >? 0)[[0,2]]",
+    "#/(x[..10] >? 0 => L-->next->value)",
+};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusTest, ::testing::ValuesIn(kCorpus));
+
+// --- seeded random expression generation -------------------------------------
+
+class RandomExprGen {
+ public:
+  explicit RandomExprGen(uint32_t seed) : state_(seed == 0 ? 1 : seed) {}
+
+  std::string Gen(int depth) {
+    if (depth <= 0) {
+      return Leaf();
+    }
+    switch (Next() % 15) {
+      case 0:
+        return "(" + Gen(depth - 1) + ")+(" + Gen(depth - 1) + ")";
+      case 1:
+        return "(" + Gen(depth - 1) + ")-(" + Gen(depth - 1) + ")";
+      case 2:
+        return "(" + Gen(depth - 1) + ")*(" + Gen(depth - 1) + ")";
+      case 3:
+        return "(" + Gen(depth - 1) + "),(" + Gen(depth - 1) + ")";
+      case 4:
+        return "(" + Gen(depth - 1) + ")..(" + SmallLeaf(16) + ")";
+      case 5:
+        return "(" + Gen(depth - 1) + ") >? (" + Gen(depth - 1) + ")";
+      case 6:
+        return "(" + Gen(depth - 1) + ") ==? (" + Gen(depth - 1) + ")";
+      case 7:
+        return "#/(" + Gen(depth - 1) + ")";
+      case 8:
+        return "+/(" + Gen(depth - 1) + ")";
+      case 9:
+        return "(" + Gen(depth - 1) + ")[[" + SmallLeaf(4) + "]]";
+      case 10:
+        return "if (" + Gen(depth - 1) + ") (" + Gen(depth - 1) + ") else (" +
+               Gen(depth - 1) + ")";
+      case 11:
+        return "(" + Gen(depth - 1) + ") => (" + Gen(depth - 1) + ")";
+      case 12:
+        return "(" + Gen(depth - 1) + ")#z" + SmallLeaf(100) + " , z" + SmallLeaf(100);
+      case 13:
+        return "(" + Gen(depth - 1) + ") ; (" + Gen(depth - 1) + ")";
+      default:
+        return "(" + Gen(depth - 1) + ") @ (" + SmallLeaf(8) + ")";
+    }
+  }
+
+ private:
+  uint32_t Next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_ >> 8;
+  }
+
+  std::string SmallLeaf(uint32_t cap) { return std::to_string(Next() % cap); }
+
+  std::string Leaf() {
+    switch (Next() % 5) {
+      case 0:
+        return std::to_string(Next() % 7);
+      case 1:
+        return "x[" + std::to_string(Next() % 10) + "]";
+      case 2:
+        return "x[.." + std::to_string(1 + Next() % 10) + "]";
+      case 3:
+        return std::to_string(Next() % 3) + ".." + std::to_string(Next() % 5);
+      default:
+        return "L-->next->value";
+    }
+  }
+
+  uint32_t state_;
+};
+
+class RandomExprTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RandomExprTest, EnginesAgreeOnGeneratedExpressions) {
+  RandomExprGen gen(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    std::string expr = gen.Gen(3);
+    auto [sm, coro] = RunBoth(expr);
+    ASSERT_EQ(sm.ok, coro.ok) << expr << "\nsm: " << sm.error << "\ncoro: " << coro.error;
+    ASSERT_EQ(sm.lines, coro.lines) << expr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExprTest, ::testing::Range(1u, 17u));
+
+// --- algebraic laws ------------------------------------------------------------
+
+class LawsTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  LawsTest() : fx_(Options()) { BuildRichImage(fx_.image()); }
+
+  SessionOptions Options() {
+    SessionOptions o;
+    o.engine = GetParam();
+    return o;
+  }
+
+  std::string Scalar(const std::string& expr) {
+    std::vector<std::string> lines = fx_.Lines(expr);
+    EXPECT_EQ(lines.size(), 1u) << expr;
+    return lines.empty() ? "" : lines.back().substr(lines.back().rfind(' ') + 1);
+  }
+
+  DuelFixture fx_;
+};
+
+TEST_P(LawsTest, CountOfAlternationIsAdditive) {
+  for (const char* a : {"1..5", "x[..10] >? 0", "L-->next->value"}) {
+    for (const char* b : {"2..3", "x[..4]"}) {
+      std::string lhs = Scalar(StrPrintf("#/((%s),(%s))", a, b));
+      std::string r1 = Scalar(StrPrintf("#/(%s)", a));
+      std::string r2 = Scalar(StrPrintf("#/(%s)", b));
+      EXPECT_EQ(std::stoll(lhs), std::stoll(r1) + std::stoll(r2)) << a << " , " << b;
+    }
+  }
+}
+
+TEST_P(LawsTest, SelectWithFullPrefixIsIdentity) {
+  for (const char* e : {"1..6", "x[..10]", "L-->next->value"}) {
+    std::string count = Scalar(StrPrintf("#/(%s)", e));
+    EXPECT_EQ(Scalar(StrPrintf("(%s)[[..%s]] === (%s)", e, count.c_str(), e)), "1") << e;
+  }
+}
+
+TEST_P(LawsTest, SumSplitsOverAlternation) {
+  std::string whole = Scalar("+/(x[..10])");
+  std::string left = Scalar("+/(x[..5])");
+  std::string right = Scalar("+/(x[5..9])");
+  EXPECT_EQ(std::stoll(whole), std::stoll(left) + std::stoll(right));
+}
+
+TEST_P(LawsTest, FilterThenCountEqualsCountOfMatches) {
+  std::string filtered = Scalar("#/(x[..10] >? 2)");
+  std::string summed = Scalar("+/(x[..10] > 2)");  // C comparison yields 1/0
+  EXPECT_EQ(filtered, summed);
+}
+
+TEST_P(LawsTest, SequenceEqualityIsReflexive) {
+  for (const char* e : {"1..9", "x[..10]", "root-->(left,right)->key"}) {
+    EXPECT_EQ(Scalar(StrPrintf("(%s) === (%s)", e, e)), "1") << e;
+  }
+}
+
+TEST_P(LawsTest, LazySymbolicOutputMatchesEager) {
+  // The lazy-DAG mode must render exactly what the eager mode prints.
+  const char* kQueries[] = {
+      "x[..10] >? 0",
+      "L-->next->value",
+      "L-->next->(value ==? next-->next->value)",
+      "root-->(left,right)->key",
+      "hash[..3]->(if (_ && scope > 3) name)",
+      "((1..9)*(1..9))[[52,74]]",
+      "x[..10].if (_ < 0) _",
+      "i := 1..3 => {i} + 4",
+      "argv[0..]@0",
+      "(1,2,5)*4+(10,200)",
+  };
+  for (const char* q : kQueries) {
+    fx_.session().options().eval.sym_mode = EvalOptions::SymMode::kOn;
+    QueryResult eager = fx_.session().Query(q);
+    fx_.session().options().eval.sym_mode = EvalOptions::SymMode::kLazy;
+    QueryResult lazy = fx_.session().Query(q);
+    EXPECT_EQ(eager.ok, lazy.ok) << q;
+    EXPECT_EQ(eager.lines, lazy.lines) << q;
+  }
+  fx_.session().options().eval.sym_mode = EvalOptions::SymMode::kOn;
+}
+
+TEST_P(LawsTest, ValuesUnchangedBySymbolicMode) {
+  std::vector<std::string> with_sym = fx_.Lines("x[..10] >? 0");
+  fx_.session().options().eval.sym_mode = EvalOptions::SymMode::kOff;
+  std::vector<std::string> without = fx_.Lines("x[..10] >? 0");
+  ASSERT_EQ(with_sym.size(), without.size());
+  for (size_t i = 0; i < without.size(); ++i) {
+    // Without symbolics, each line is just the value.
+    EXPECT_EQ(with_sym[i].substr(with_sym[i].rfind(' ') + 1), without[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, LawsTest,
+                         ::testing::Values(EngineKind::kStateMachine, EngineKind::kCoroutine),
+                         [](const ::testing::TestParamInfo<EngineKind>& pi) {
+                           return pi.param == EngineKind::kStateMachine ? "StateMachine"
+                                                                          : "Coroutine";
+                         });
+
+}  // namespace
+}  // namespace duel

@@ -1,0 +1,166 @@
+// Additional language-surface coverage: enumeration constants in
+// expressions, multi-dimensional arrays, and parser robustness under
+// fuzzed inputs (errors, never crashes).
+
+#include <gtest/gtest.h>
+
+#include "src/duel/parser.h"
+#include "src/rsp/remote_backend.h"
+#include "src/rsp/server.h"
+#include "src/rsp/transport.h"
+#include "tests/duel_test_util.h"
+
+namespace duel {
+namespace {
+
+class EnumConstTest : public ::testing::Test {
+ protected:
+  EnumConstTest() {
+    fx_.image().types().DefineEnum("color", {{"RED", 0}, {"GREEN", 1}, {"BLUE", 7}});
+    target::ImageBuilder b(fx_.image());
+    target::Addr c = b.Global("c", fx_.image().types().LookupEnum("color"));
+    b.PokeI32(c, 7);
+  }
+
+  DuelFixture fx_;
+};
+
+TEST_F(EnumConstTest, EnumeratorsResolveByName) {
+  EXPECT_EQ(fx_.One("BLUE"), "BLUE");  // sym "BLUE", value "BLUE": collapses
+  EXPECT_EQ(fx_.One("{BLUE + 0}"), "7");
+  EXPECT_EQ(fx_.One("c == BLUE"), "c==BLUE = 1");
+  EXPECT_EQ(fx_.One("c == GREEN"), "c==GREEN = 0");
+}
+
+TEST_F(EnumConstTest, EnumeratorsComposeWithGenerators) {
+  scenarios::BuildIntArray(fx_.image(), "x", {0, 7, 1, 7});
+  EXPECT_EQ(fx_.One("#/(x[..4] ==? BLUE)"), "2");
+}
+
+TEST_F(EnumConstTest, VariablesShadowEnumerators) {
+  target::ImageBuilder b(fx_.image());
+  target::Addr v = b.Global("GREEN", b.Int());
+  b.PokeI32(v, 42);
+  EXPECT_EQ(fx_.One("{GREEN}"), "42");  // the variable wins
+}
+
+TEST_F(EnumConstTest, EnumeratorsWorkOverTheRemoteProtocol) {
+  dbg::SimBackend& sim = fx_.backend();
+  rsp::RspServer server(sim);
+  rsp::FramedTransport transport(server);
+  rsp::RemoteBackend remote(transport);
+  Session remote_session(remote);
+  QueryResult r = remote_session.Query("c == BLUE");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.lines[0], "c==BLUE = 1");
+}
+
+class MultiDimTest : public ::testing::Test {
+ protected:
+  DuelFixture fx_;
+};
+
+TEST_F(MultiDimTest, TwoDimensionalDeclarationAndIndexing) {
+  std::vector<std::string> lines = fx_.Lines(
+      "int m[3][4]; int i, j;"
+      "for (i = 0; i < 3; i++) for (j = 0; j < 4; j++) m[i][j] = 10*i + j;"
+      "{m[2][3]}");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "23");
+}
+
+TEST_F(MultiDimTest, RowGeneratorsOverMatrix) {
+  fx_.Lines("int m[2][3]; m[0][0] = 5; m[1][2] = 9 ;");
+  // All elements of row 1:
+  EXPECT_EQ(fx_.Lines("m[1][..3]"),
+            (std::vector<std::string>{"m[1][0] = 0", "m[1][1] = 0", "m[1][2] = 9"}));
+  // The positive elements of the whole matrix:
+  EXPECT_EQ(fx_.Lines("m[..2][..3] >? 0"),
+            (std::vector<std::string>{"m[0][0] = 5", "m[1][2] = 9"}));
+  EXPECT_EQ(fx_.One("+/(m[..2][..3])"), "14");
+}
+
+TEST_F(MultiDimTest, SizeofMatrix) {
+  fx_.Lines("int m[3][4] ;");
+  EXPECT_EQ(fx_.One("{sizeof m}"), "48");
+  EXPECT_EQ(fx_.One("{sizeof m[0]}"), "16");
+}
+
+class UntilFieldTest : public ::testing::Test {
+ protected:
+  DuelFixture fx_;
+};
+
+TEST_F(UntilFieldTest, PredicateCanUseFieldsOfTheValue) {
+  // e@(pred) opens the value's scope: fields are visible, per the paper's
+  // "produces the values of e until e.n is non-zero".
+  scenarios::BuildList(fx_.image(), "L", {1, 2, 3, 4});
+  // Walk until the node whose next is NULL (i.e. stop *at* the last node).
+  EXPECT_EQ(fx_.One("#/(L-->next@(next == 0))"), "3");
+  // Stop at the first node whose value exceeds 2.
+  EXPECT_EQ(fx_.Lines("L-->next@(value > 2)->value"),
+            (std::vector<std::string>{"L->value = 1", "L->next->value = 2"}));
+}
+
+TEST_F(UntilFieldTest, NegativeLiteralIsMatchMode) {
+  scenarios::BuildIntArray(fx_.image(), "x", {4, -7, 9});
+  EXPECT_EQ(fx_.Lines("x[..3]@(-7)"), (std::vector<std::string>{"x[0] = 4"}));
+}
+
+// --- parser robustness -------------------------------------------------------
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  static const char* kFragments[] = {
+      "x",   "1",  "..",  "(",  ")",   "[",  "]",   "[[",  "]]", ",",  ";",  "=>",
+      ">?",  "+",  "-",   "*",  "/",   "->", "-->", ".",   ":=", "=",  "#",  "@",
+      "#/",  "{",  "}",   "if", "else", "for", "while",    "int", "&&", "||",
+      "===", "_",  "\"s\"", "'c'", "5..9", "struct", "sizeof", "1.5", "?", ":",
+  };
+  uint32_t state = GetParam() * 2654435761u + 1;
+  auto next = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 8;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    size_t len = 1 + next() % 20;
+    for (size_t i = 0; i < len; ++i) {
+      input += kFragments[next() % (sizeof(kFragments) / sizeof(kFragments[0]))];
+      input += ' ';
+    }
+    try {
+      Parser parser(input);
+      ParseResult r = parser.Parse();
+      EXPECT_NE(r.root, nullptr) << input;
+    } catch (const DuelError&) {
+      // Expected for most soups: a *reported* error, never a crash.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(1u, 7u));
+
+TEST(ParserFuzzTest2, RandomBytesNeverCrashLexerOrParser) {
+  uint32_t state = 12345;
+  auto next = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 8;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    size_t len = next() % 40;
+    for (size_t i = 0; i < len; ++i) {
+      input += static_cast<char>(32 + next() % 95);  // printable ASCII
+    }
+    try {
+      Parser parser(input);
+      (void)parser.Parse();
+    } catch (const DuelError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace duel

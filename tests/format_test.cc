@@ -1,0 +1,126 @@
+// AST-to-source formatting: spot checks plus the round-trip property
+// parse(format(parse(e))) == parse(e) on a corpus and fuzzed expressions.
+
+#include "src/duel/format.h"
+
+#include <gtest/gtest.h>
+
+#include "src/duel/parser.h"
+
+namespace duel {
+namespace {
+
+std::string Reformat(const std::string& expr) {
+  Parser p(expr, [](const std::string& s) { return s == "List"; });
+  return FormatAst(*p.Parse().root);
+}
+
+void ExpectRoundTrip(const std::string& expr) {
+  Parser p1(expr, [](const std::string& s) { return s == "List"; });
+  NodePtr ast1 = p1.Parse().root;
+  std::string formatted = FormatAst(*ast1);
+  Parser p2(formatted, [](const std::string& s) { return s == "List"; });
+  NodePtr ast2;
+  try {
+    ast2 = p2.Parse().root;
+  } catch (const DuelError& e) {
+    FAIL() << "reformatted text failed to parse\n  original:  " << expr
+           << "\n  formatted: " << formatted << "\n  error: " << e.what();
+  }
+  EXPECT_EQ(DumpAst(*ast1), DumpAst(*ast2))
+      << "original:  " << expr << "\nformatted: " << formatted;
+}
+
+TEST(FormatTest, SpotChecks) {
+  EXPECT_EQ(Reformat("1+2*3"), "1 + 2 * 3");
+  EXPECT_EQ(Reformat("(1+2)*3"), "(1 + 2) * 3");
+  EXPECT_EQ(Reformat("x[..100]>?0"), "x[..100] >? 0");
+  EXPECT_EQ(Reformat("head-->next->value"), "head-->next->value");
+  EXPECT_EQ(Reformat("hash[1,9]->(scope,name)"), "hash[1,9]->(scope,name)");
+  EXPECT_EQ(Reformat("i:=1..3=>{i}+4"), "i := 1..3 => {i} + 4");
+  EXPECT_EQ(Reformat("#/(root-->(left,right))"), "#/root-->(left,right)");  // postfix binds tighter than #/
+  EXPECT_EQ(Reformat("a=0;"), "a = 0 ;");
+  EXPECT_EQ(Reformat("(struct symbol*)p"), "(struct symbol *)p");
+  EXPECT_EQ(Reformat("argv[0..]@0"), "argv[0..]@0");
+}
+
+TEST(FormatTest, PaperExamplesRoundTrip) {
+  const char* kQueries[] = {
+      "1 + (double)3/2",
+      "(1,2,5)*4+(10,200)",
+      "x[1..4,8,12..50] >? 5 <? 10",
+      "x[1..3] == 7",
+      "(hash[..1024] !=? 0)->scope >? 5",
+      "hash[0..1023]->scope = 0 ;",
+      "int i; for (i = 0; i < 9; i++) 4 + if (i%3==0) {i}*5",
+      "i := 1..3; i + 4",
+      "x:= hash[..1024] !=? 0 => y:= x->scope => y = 0",
+      "hash[1,9]->(scope,name)",
+      "hash[..1024]->(if (_ && scope > 5) name)",
+      "y:= x[j := ..10] => if (y < 0 || y > 100) x[{j}]",
+      "hash[0]-->next->scope",
+      "L-->next->(value ==? next-->next->value)",
+      "root-->(if (key > 5) left else if (key < 5) right)->key",
+      "hash[..1024]-->next-> if (next) scope <? next->scope",
+      "((1..9)*(1..9))[[52,74]]",
+      "L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value",
+      "s[0..999]@(_=='\\0')",
+      "argv[0..]@0",
+      "printf(\"%d %d, \", (3,4), 5..7) ;",
+      "#/(root-->(left,right)->key)",
+      "(1..3) === (1,2,3)",
+      "frames().x >? 5",
+      "sizeof(struct symbol *)",
+      "sizeof x",
+      "a ? b : c ? d : e",
+      "-x[..5] + ~y",
+      "p++ + --q",
+      "x[a[[b]]]",
+      "x[[a[b]]]",
+      "List *p; p",
+      "int a[10]; a[0]",
+      "root-->>(left,right)->key",
+  };
+  for (const char* q : kQueries) {
+    ExpectRoundTrip(q);
+  }
+}
+
+TEST(FormatTest, FuzzedRoundTrip) {
+  static const char* kFragments[] = {
+      "x",  "1",   "(",  ")",  "..9", "+",  "*",  ",",  ">?", "=>", "#/", "[[0]]",
+      "@1", "#k",  "-",  "!",  "===", "?",  ":",  "&&", "||", "if (x) y else z",
+      "{x}", "a.b", "p->q", "L-->next",
+  };
+  uint32_t state = 7;
+  auto next = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 8;
+  };
+  int round_tripped = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    size_t len = 1 + next() % 12;
+    for (size_t i = 0; i < len; ++i) {
+      input += kFragments[next() % (sizeof(kFragments) / sizeof(kFragments[0]))];
+      input += ' ';
+    }
+    NodePtr ast1;
+    try {
+      Parser p(input);
+      ast1 = p.Parse().root;
+    } catch (const DuelError&) {
+      continue;  // not parseable: nothing to round-trip
+    }
+    std::string formatted = FormatAst(*ast1);
+    Parser p2(formatted);
+    NodePtr ast2 = p2.Parse().root;  // must not throw
+    ASSERT_EQ(DumpAst(*ast1), DumpAst(*ast2))
+        << "original:  " << input << "\nformatted: " << formatted;
+    round_tripped++;
+  }
+  EXPECT_GT(round_tripped, 10);  // enough soups parse to exercise the property
+}
+
+}  // namespace
+}  // namespace duel

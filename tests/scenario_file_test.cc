@@ -1,0 +1,184 @@
+// The scenario description language: records, arrays, pointers, &name
+// forward references, frames, enums — and the loaded images queried by DUEL.
+
+#include "src/scenarios/scenario_file.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "tests/duel_test_util.h"
+
+namespace duel::scenarios {
+namespace {
+
+class ScenarioFileTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& src) { LoadScenario(fx_.image(), src); }
+
+  DuelFixture fx_;
+};
+
+TEST_F(ScenarioFileTest, ScalarsAndArrays) {
+  Load(R"(
+    ## basic globals
+    int x[6] = { 3, -1, 4, 1, -5, 9 }
+    double pi = 3.14159
+    char c = 'q'
+    unsigned long big = 5000000000
+  )");
+  EXPECT_EQ(fx_.One("+/x[..6]"), "11");
+  EXPECT_EQ(fx_.One("pi"), "pi = 3.14159");
+  EXPECT_EQ(fx_.One("c"), "c = 'q'");
+  EXPECT_EQ(fx_.One("big"), "big = 5000000000");
+}
+
+TEST_F(ScenarioFileTest, TrailingElementsAreZero) {
+  Load("int x[5] = { 7 }");
+  EXPECT_EQ(fx_.Lines("x[..5] ==? 0").size(), 4u);
+}
+
+TEST_F(ScenarioFileTest, StringsAndCharArrays) {
+  Load(R"(
+    char *greeting = "hello"
+    char buffer[10] = "abc"
+  )");
+  EXPECT_EQ(fx_.One("greeting"), "greeting = \"hello\"");
+  EXPECT_EQ(fx_.One("buffer"), "buffer = \"abc\"");
+  EXPECT_EQ(fx_.One("{strlen(greeting)}"), "5");
+}
+
+TEST_F(ScenarioFileTest, RecordsAndForwardReferences) {
+  Load(R"(
+    struct symbol { char *name; int scope; struct symbol *next; }
+
+    ## s0 references s1 before s1 is declared: two-pass resolution
+    struct symbol s0 = { "main", 4, &s1 }
+    struct symbol s1 = { "argc", 3, 0 }
+    struct symbol *hash[4] = { &s0, 0, 0, &s1 }
+  )");
+  EXPECT_EQ(fx_.Lines("hash[0]-->next->(name,scope)"),
+            (std::vector<std::string>{"hash[0]->name = \"main\"", "hash[0]->scope = 4",
+                                      "hash[0]->next->name = \"argc\"",
+                                      "hash[0]->next->scope = 3"}));
+  EXPECT_EQ(fx_.One("#/(hash[..4] !=? 0)"), "2");
+}
+
+TEST_F(ScenarioFileTest, NestedRecordsAndArraysOfRecords) {
+  Load(R"(
+    struct point { int px; int py; }
+    struct seg { struct point a; struct point b; }
+    struct seg s = { { 1, 2 }, { 3, 4 } }
+    struct point pts[3] = { { 9, 9 }, { 5, 5 } }
+  )");
+  EXPECT_EQ(fx_.One("{s.b.py}"), "4");
+  EXPECT_EQ(fx_.One("{pts[1].px}"), "5");
+  EXPECT_EQ(fx_.One("{pts[2].px}"), "0");
+}
+
+TEST_F(ScenarioFileTest, EnumsAndBitfields) {
+  Load(R"(
+    enum color { RED, GREEN = 5, BLUE }
+    struct flags { int a : 3; int rest; }
+    enum color c = 6
+    struct flags f = { }
+  )");
+  EXPECT_EQ(fx_.One("c"), "c = BLUE");
+  EXPECT_EQ(fx_.One("c == BLUE"), "c==BLUE = 1");
+  fx_.Lines("f.a = 2 ;");
+  EXPECT_EQ(fx_.One("f.a"), "f.a = 2");
+}
+
+TEST_F(ScenarioFileTest, Frames) {
+  Load(R"(
+    int g = 1
+    frame outer { int x = 20 }
+    frame inner { int x = 10, y = 3 }
+  )");
+  EXPECT_EQ(fx_.Lines("frames().x"),
+            (std::vector<std::string>{"frame(0).x = 10", "frame(1).x = 20"}));
+  EXPECT_EQ(fx_.One("{x + y + g}"), "14");  // innermost frame + global
+}
+
+TEST_F(ScenarioFileTest, CommentsRunToEndOfLine) {
+  Load("int a = 1   ## first\nint b = 2 ## second");
+  EXPECT_EQ(fx_.One("{a + b}"), "3");
+}
+
+TEST_F(ScenarioFileTest, ErrorsNameTheLine) {
+  auto expect_error = [&](const std::string& src, const std::string& needle) {
+    target::TargetImage image;
+    try {
+      LoadScenario(image, src);
+      FAIL() << "expected error for: " << src;
+    } catch (const DuelError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("int x = \n@", "line 2");
+  expect_error("int x = {1}\nint x = 2", "duplicate variable");
+  expect_error("struct s { int a; }\nstruct s { int b; }", "defined twice");
+  expect_error("int *p = &nosuch", "unknown variable");
+  expect_error("struct nodef v = {}", "incomplete type");
+  expect_error("char buf[2] = \"toolong\"", "does not fit");
+  expect_error("int x[2] = {1,2,3}", "too many initializers");
+}
+
+TEST_F(ScenarioFileTest, DumpRoundTripsScalarsArraysRecords) {
+  const char* kSource = R"(
+    enum color { RED = 0, GREEN = 5 }
+    struct symbol { char *name; int scope; struct symbol *next; }
+    struct symbol s0 = { "main", 4, &s1 }
+    struct symbol s1 = { "argc", 3, 0 }
+    struct symbol *hash[4] = { &s0, 0, 0, &s1 }
+    int x[5] = { 3, -1, 4, 0, 9 }
+    double pi = 3.25
+    char *greeting = "hello"
+    char buf[8] = "abc"
+    enum color c = 5
+    frame main { int depth = 2 }
+  )";
+  Load(kSource);
+  std::string dumped = DumpScenario(fx_.image());
+
+  // Reload the dump into a fresh image; every query must agree.
+  DuelFixture fx2;
+  LoadScenario(fx2.image(), dumped);
+  const char* kQueries[] = {
+      "hash[0]-->next->(name,scope)",
+      "+/x[..5]",
+      "pi",
+      "greeting",
+      "buf",
+      "c == GREEN",
+      "frames().depth",
+      "#/(hash[..4] !=? 0)",
+  };
+  for (const char* q : kQueries) {
+    EXPECT_EQ(fx_.Lines(q), fx2.Lines(q)) << q << "\n--- dump ---\n" << dumped;
+  }
+}
+
+TEST_F(ScenarioFileTest, DumpOfProgramModifiedState) {
+  // Snapshot AFTER mutation: the dump captures current memory, not initials.
+  Load("int x[3] = { 1, 2, 3 }");
+  fx_.Lines("x[1] = 99 ;");
+  DuelFixture fx2;
+  LoadScenario(fx2.image(), DumpScenario(fx_.image()));
+  EXPECT_EQ(fx2.One("{x[1]}"), "99");
+}
+
+TEST_F(ScenarioFileTest, FileLoading) {
+  std::string path = testing::TempDir() + "/scenario_test.dsc";
+  {
+    std::ofstream out(path);
+    out << "int answer = 42\n";
+  }
+  LoadScenarioFile(fx_.image(), path);
+  EXPECT_EQ(fx_.One("answer"), "answer = 42");
+  target::TargetImage other;
+  EXPECT_THROW(LoadScenarioFile(other, "/nonexistent/file.dsc"), DuelError);
+}
+
+}  // namespace
+}  // namespace duel::scenarios

@@ -1,0 +1,146 @@
+// The scenario builders themselves: deterministic layout and contents.
+
+#include "src/scenarios/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "src/target/builder.h"
+
+namespace duel::scenarios {
+namespace {
+
+TEST(ScenariosTest, IntArrayContents) {
+  target::TargetImage image;
+  target::Addr base = BuildIntArray(image, "x", {7, -3, 0});
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(base), 7);
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(base + 4), -3);
+  const target::Variable* v = image.symbols().FindVariable("x");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->type->ToString(), "int [3]");
+}
+
+TEST(ScenariosTest, RandomArrayIsDeterministic) {
+  target::TargetImage a, b;
+  target::Addr pa = BuildRandomIntArray(a, "x", 100, -5, 5, 99);
+  target::Addr pb = BuildRandomIntArray(b, "x", 100, -5, 5, 99);
+  for (size_t i = 0; i < 100; ++i) {
+    int32_t va = a.memory().ReadScalar<int32_t>(pa + i * 4);
+    int32_t vb = b.memory().ReadScalar<int32_t>(pb + i * 4);
+    EXPECT_EQ(va, vb);
+    EXPECT_GE(va, -5);
+    EXPECT_LE(va, 5);
+  }
+}
+
+TEST(ScenariosTest, ListLinks) {
+  target::TargetImage image;
+  target::Addr head = BuildList(image, "L", {10, 20});
+  target::TypeRef list = image.types().LookupStruct("List");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->size(), 16u);
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(head), 10);
+  target::Addr second = image.memory().ReadScalar<target::Addr>(head + 8);
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(second), 20);
+  EXPECT_EQ(image.memory().ReadScalar<target::Addr>(second + 8), 0u);
+  // The typedef the paper's C code uses exists.
+  EXPECT_NE(image.types().LookupTypedef("List"), nullptr);
+}
+
+TEST(ScenariosTest, EmptyList) {
+  target::TargetImage image;
+  EXPECT_EQ(BuildList(image, "L", {}), 0u);
+  target::Addr g = image.symbols().FindVariable("L")->addr;
+  EXPECT_EQ(image.memory().ReadScalar<target::Addr>(g), 0u);
+}
+
+TEST(ScenariosTest, CyclicListPointsBack) {
+  target::TargetImage image;
+  target::Addr head = BuildCyclicList(image, "L", {1, 2, 3}, 0);
+  target::Addr n2 = image.memory().ReadScalar<target::Addr>(head + 8);
+  target::Addr n3 = image.memory().ReadScalar<target::Addr>(n2 + 8);
+  EXPECT_EQ(image.memory().ReadScalar<target::Addr>(n3 + 8), head);
+}
+
+TEST(ScenariosTest, TreeSpecParsing) {
+  target::TargetImage image;
+  target::Addr root = BuildTree(image, "root", "(9 (3 (4) (5)) (12))");
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(root), 9);
+  target::Addr left = image.memory().ReadScalar<target::Addr>(root + 8);
+  target::Addr right = image.memory().ReadScalar<target::Addr>(root + 16);
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(left), 3);
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(right), 12);
+  target::Addr ll = image.memory().ReadScalar<target::Addr>(left + 8);
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(ll), 4);
+}
+
+TEST(ScenariosTest, TreeSpecVariants) {
+  target::TargetImage image;
+  // Negative keys, empty subtrees, left-only.
+  target::Addr root = BuildTree(image, "t1", "(-5 () (2 (1)))");
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(root), -5);
+  EXPECT_EQ(image.memory().ReadScalar<target::Addr>(root + 8), 0u);  // left empty
+  EXPECT_THROW(BuildTree(image, "bad1", "9"), DuelError);
+  EXPECT_THROW(BuildTree(image, "bad2", "(9"), DuelError);
+  EXPECT_THROW(BuildTree(image, "bad3", "(9) junk"), DuelError);
+}
+
+TEST(ScenariosTest, SymtabChains) {
+  target::TargetImage image;
+  BuildSymtab(image, {{3, {{"a", 2}, {"b", 1}}}}, 16);
+  const target::Variable* hash = image.symbols().FindVariable("hash");
+  ASSERT_NE(hash, nullptr);
+  EXPECT_EQ(hash->type->Declare("hash"), "struct symbol *hash[16]");
+  target::Addr first = image.memory().ReadScalar<target::Addr>(hash->addr + 3 * 8);
+  ASSERT_NE(first, 0u);
+  // name, scope, next layout: char* at 0, int at 8, ptr at 16.
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(first + 8), 2);
+  std::string name;
+  bool trunc;
+  target::Addr name_ptr = image.memory().ReadScalar<target::Addr>(first);
+  ASSERT_TRUE(image.memory().ReadCString(name_ptr, 10, &name, &trunc));
+  EXPECT_EQ(name, "a");
+  EXPECT_EQ(image.memory().ReadScalar<target::Addr>(hash->addr), 0u);  // bucket 0 NULL
+  EXPECT_THROW(BuildSymtab(image, {{99, {}}}, 16), DuelError);
+}
+
+TEST(ScenariosTest, DenseSymtabSortedChains) {
+  target::TargetImage image;
+  BuildDenseSymtab(image, 32);
+  const target::Variable* hash = image.symbols().FindVariable("hash");
+  for (size_t b = 0; b < 32; ++b) {
+    target::Addr node = image.memory().ReadScalar<target::Addr>(hash->addr + b * 8);
+    ASSERT_NE(node, 0u);
+    int32_t prev = image.memory().ReadScalar<int32_t>(node + 8);
+    node = image.memory().ReadScalar<target::Addr>(node + 16);
+    while (node != 0) {
+      int32_t scope = image.memory().ReadScalar<int32_t>(node + 8);
+      EXPECT_LT(scope, prev);
+      prev = scope;
+      node = image.memory().ReadScalar<target::Addr>(node + 16);
+    }
+  }
+}
+
+TEST(ScenariosTest, ArgvNullTerminated) {
+  target::TargetImage image;
+  BuildArgv(image, {"a", "bc"});
+  const target::Variable* argv = image.symbols().FindVariable("argv");
+  ASSERT_NE(argv, nullptr);
+  EXPECT_EQ(argv->type->Declare("argv"), "char *argv[3]");
+  EXPECT_EQ(image.memory().ReadScalar<target::Addr>(argv->addr + 16), 0u);
+  const target::Variable* argc = image.symbols().FindVariable("argc");
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(argc->addr), 2);
+}
+
+TEST(ScenariosTest, FramesInnermostFirst) {
+  target::TargetImage image;
+  BuildFrames(image, 3);
+  ASSERT_EQ(image.symbols().NumFrames(), 3u);
+  EXPECT_EQ(image.symbols().GetFrame(0).function, "fn0");
+  EXPECT_EQ(image.symbols().GetFrame(2).function, "fn2");
+  const target::Variable& x2 = image.symbols().GetFrame(2).locals[0];
+  EXPECT_EQ(image.memory().ReadScalar<int32_t>(x2.addr), 20);
+}
+
+}  // namespace
+}  // namespace duel::scenarios

@@ -1,0 +1,105 @@
+// The symbolic-value representation: precedence-aware composition, ->member
+// chain tracking, -->member[[n]] compression, select rewriting.
+
+#include <gtest/gtest.h>
+
+#include "src/duel/value.h"
+
+namespace duel {
+namespace {
+
+TEST(SymTest, PlainAndEmpty) {
+  Sym s = Sym::Plain("x");
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.Text(), "x");
+  EXPECT_TRUE(Sym::None().empty());
+  EXPECT_EQ(Sym::None().Text(), "");
+}
+
+TEST(SymTest, BinaryComposition) {
+  Sym a = Sym::Plain("a");
+  Sym b = Sym::Plain("b");
+  Sym sum = ComposeBinary(a, "+", b, kPrecAdd);
+  EXPECT_EQ(sum.Text(), "a+b");
+  // A looser operand on the tight side gets parenthesized.
+  Sym prod = ComposeBinary(sum, "*", b, kPrecMul);
+  EXPECT_EQ(prod.Text(), "(a+b)*b");
+  // Left-associativity: same precedence on the left needs no parens.
+  Sym chain = ComposeBinary(sum, "+", b, kPrecAdd);
+  EXPECT_EQ(chain.Text(), "a+b+b");
+  // ...but on the right it does.
+  Sym right = ComposeBinary(b, "-", sum, kPrecAdd);
+  EXPECT_EQ(right.Text(), "b-(a+b)");
+}
+
+TEST(SymTest, UnaryAndIndexComposition) {
+  Sym x = Sym::Plain("x");
+  EXPECT_EQ(ComposeUnary("-", x).Text(), "-x");
+  Sym sum = ComposeBinary(x, "+", x, kPrecAdd);
+  EXPECT_EQ(ComposeUnary("*", sum).Text(), "*(x+x)");
+  EXPECT_EQ(ComposeIndex(x, Sym::Plain("3")).Text(), "x[3]");
+  EXPECT_EQ(ComposeIndex(sum, Sym::Plain("3")).Text(), "(x+x)[3]");
+}
+
+TEST(SymTest, ArrowChainsExpandThenCompress) {
+  Sym s = Sym::Plain("L");
+  for (int i = 1; i <= 3; ++i) {
+    s = s.WithMember("next", /*arrow=*/true);
+  }
+  EXPECT_EQ(s.Text(), "L->next->next->next");
+  s = s.WithMember("next", true);
+  EXPECT_EQ(s.Text(), "L-->next[[4]]");  // threshold = 4
+  s = s.WithMember("next", true);
+  EXPECT_EQ(s.Text(), "L-->next[[5]]");
+}
+
+TEST(SymTest, ChainBreaksOnDifferentMember) {
+  Sym s = Sym::Plain("root");
+  s = s.WithMember("left", true);
+  s = s.WithMember("left", true);
+  s = s.WithMember("right", true);
+  EXPECT_EQ(s.Text(), "root->left->left->right");
+  // After the break, the suffix keeps growing without compressing.
+  for (int i = 0; i < 5; ++i) {
+    s = s.WithMember("right", true);
+  }
+  EXPECT_EQ(s.Text(), "root->left->left->right->right->right->right->right->right");
+}
+
+TEST(SymTest, SuffixAfterChainStillCompresses) {
+  Sym s = Sym::Plain("hash[287]");
+  for (int i = 0; i < 8; ++i) {
+    s = s.WithMember("next", true);
+  }
+  s = s.WithMember("scope", true);
+  EXPECT_EQ(s.Text(), "hash[287]-->next[[8]]->scope");
+}
+
+TEST(SymTest, DotDoesNotChain) {
+  Sym s = Sym::Plain("a");
+  s = s.WithMember("b", /*arrow=*/false);
+  s = s.WithMember("b", false);
+  EXPECT_EQ(s.Text(), "a.b.b");
+}
+
+TEST(SymTest, SelectedAtRewritesChains) {
+  Sym s = Sym::Plain("head");
+  for (int i = 0; i < 3; ++i) {
+    s = s.WithMember("next", true);
+  }
+  s = s.WithMember("value", true);
+  EXPECT_EQ(s.Text(), "head->next->next->next->value");
+  EXPECT_EQ(s.SelectedAt(3).Text(), "head-->next[[3]]->value");
+  // Non-chain syms pass through unchanged.
+  Sym plain = Sym::Plain("6*8", kPrecMul);
+  EXPECT_EQ(plain.SelectedAt(52).Text(), "6*8");
+}
+
+TEST(SymTest, LooseHeadIsParenthesizedWhenChained) {
+  Sym cond = Sym::Plain("a?b:c", kPrecCond);
+  Sym s = cond.WithMember("next", true);
+  EXPECT_EQ(s.Text(), "(a?b:c)->next");
+}
+
+}  // namespace
+}  // namespace duel
