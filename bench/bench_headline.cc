@@ -6,6 +6,10 @@
 // linear scaling in N; a modern CPU runs the 10k query ~4-5 orders of
 // magnitude faster than the 1992 workstation.
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
 #include "bench/bench_util.h"
 
 namespace duel::bench {
@@ -48,7 +52,51 @@ void BM_HeadlineEvalWithOutput(benchmark::State& state) {
 }
 BENCHMARK(BM_HeadlineEvalWithOutput);
 
+// Machine-readable metrics: after the timed runs, replay the headline query
+// sweep once per engine with full stats + per-node profiling and write one
+// JSON document ({"bench":"headline","queries":[<obs::QueryStats>...]}).
+// DUEL_BENCH_METRICS overrides the output path; an empty value disables it.
+void WriteMetricsJson() {
+  const char* env = std::getenv("DUEL_BENCH_METRICS");
+  std::string path = env != nullptr ? env : "bench_headline_metrics.json";
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write metrics to " << path << "\n";
+    return;
+  }
+  out << "{\"bench\":\"headline\",\"queries\":[";
+  bool first = true;
+  for (EngineKind kind : {EngineKind::kStateMachine, EngineKind::kCoroutine}) {
+    for (size_t n : {size_t{1000}, size_t{10000}, size_t{100000}}) {
+      SessionOptions opts = EngineOptions(kind);
+      opts.collect_stats = true;
+      opts.profile = true;
+      BenchFixture fx(opts);
+      scenarios::BuildRandomIntArray(fx.image(), "x", n, -100, 100, 42);
+      fx.Drive("x[.." + std::to_string(n) + "] >? 0");
+      if (fx.session().last_stats().has_value()) {
+        out << (first ? "\n" : ",\n") << fx.session().last_stats()->ToJson();
+        first = false;
+      }
+    }
+  }
+  out << "\n]}\n";
+  std::cerr << "wrote headline metrics to " << path << "\n";
+}
+
 }  // namespace
 }  // namespace duel::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  duel::bench::WriteMetricsJson();
+  return 0;
+}

@@ -62,6 +62,11 @@ void PrintHelp() {
       "  engine sm|coro  choose the evaluation engine\n"
       "  symbolic on|off toggle symbolic values\n"
       "  remote on|off   route queries through the RSP wire protocol\n"
+      "  stats [on|off]  per-query stats (phases, counters, narrow-call latency);\n"
+      "                  bare 'stats' re-prints the last collected stats\n"
+      "  profile EXPR    evaluate EXPR with the per-AST-node profiler (heat view)\n"
+      "  trace on|off    span tracing; 'trace dump [FILE]' prints spans or writes JSONL\n"
+      "  packets on|off  RSP wire packet log; 'packets dump' prints it (remote mode)\n"
       "  info            image and backend statistics\n"
       "  history         list past duel queries; !N or !! re-runs one\n"
       "  load FILE       load a scenario description file into the debuggee\n"
@@ -167,8 +172,101 @@ int main(int argc, char** argv) {
     if (cmd == "help") {
       PrintHelp();
     } else if (cmd == "duel") {
-      std::cout << session.Query(rest).Text();
+      QueryResult r = session.Query(rest);
+      std::cout << r.Text();
       std::cout << image.TakeOutput();  // anything the target's printf wrote
+      if (r.stats.has_value() && session.options().collect_stats) {
+        for (const std::string& l : r.stats->Render()) {
+          std::cout << "  | " << l << "\n";
+        }
+      }
+    } else if (cmd == "stats") {
+      if (rest == "on" || rest == "off") {
+        bool on = rest == "on";
+        local_session.options().collect_stats = on;
+        remote_session.options().collect_stats = on;
+        std::cout << "stats: " << rest << "\n";
+      } else if (rest.empty()) {
+        if (!session.last_stats().has_value()) {
+          std::cout << "no stats collected yet (try: stats on)\n";
+        } else {
+          for (const std::string& l : session.last_stats()->Render()) {
+            std::cout << l << "\n";
+          }
+        }
+      } else {
+        std::cout << "usage: stats [on|off]\n";
+      }
+    } else if (cmd == "profile") {
+      if (rest.empty()) {
+        std::cout << "usage: profile EXPR\n";
+        continue;
+      }
+      bool saved = session.options().profile;
+      session.options().profile = true;
+      QueryResult r = session.Query(rest);
+      session.options().profile = saved;
+      std::cout << r.Text();
+      std::cout << image.TakeOutput();
+      if (r.stats.has_value()) {
+        for (const std::string& l : r.stats->RenderProfile()) {
+          std::cout << l << "\n";
+        }
+      }
+    } else if (cmd == "trace") {
+      obs::Tracer& tracer = session.tracer();
+      std::istringstream ts(rest);
+      std::string sub, file;
+      ts >> sub >> file;
+      if (sub == "on" || sub == "off") {
+        tracer.set_enabled(sub == "on");
+        std::cout << "trace: " << sub << "\n";
+      } else if (sub == "clear") {
+        tracer.Clear();
+        std::cout << "trace cleared\n";
+      } else if (sub == "dump" || sub.empty()) {
+        if (!file.empty()) {
+          std::ofstream outf(file);
+          if (!outf) {
+            std::cout << "cannot write " << file << "\n";
+          } else {
+            tracer.ExportJsonl(outf);
+            std::cout << "wrote " << tracer.size() << " spans to " << file << "\n";
+          }
+        } else {
+          for (const obs::TraceEvent& e : tracer.Events()) {
+            std::cout << std::string(static_cast<size_t>(e.depth) * 2, ' ') << e.name;
+            if (!e.detail.empty()) {
+              std::cout << " `" << e.detail << "`";
+            }
+            std::cout << "  " << e.dur_ns << "ns\n";
+          }
+          std::cout << "(" << tracer.size() << " spans";
+          if (tracer.dropped() > 0) {
+            std::cout << ", " << tracer.dropped() << " dropped";
+          }
+          std::cout << ")\n";
+        }
+      } else {
+        std::cout << "usage: trace on|off|clear|dump [FILE]\n";
+      }
+    } else if (cmd == "packets") {
+      if (rest == "on" || rest == "off") {
+        server.set_packet_logging(rest == "on");
+        std::cout << "packet log: " << rest << "\n";
+      } else if (rest == "clear") {
+        server.ClearPacketLog();
+        std::cout << "packet log cleared\n";
+      } else if (rest == "dump" || rest.empty()) {
+        for (const rsp::WirePacket& p : server.packet_log()) {
+          std::cout << (p.is_request ? "-> " : "<- ") << p.payload << "\n";
+        }
+        std::cout << "(" << server.packet_log().size() << " packets"
+                  << (server.packet_logging() ? "" : "; logging off — try 'packets on'")
+                  << ")\n";
+      } else {
+        std::cout << "usage: packets on|off|clear|dump\n";
+      }
     } else if (cmd == "print" || cmd == "p") {
       try {
         std::cout << baseline::RunBaselineQuery(sim, baseline_ctx, rest) << "\n";

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/support/counters.h"
+#include "src/support/obs/metrics.h"
 #include "src/target/ctype.h"
 #include "src/target/image.h"
 
@@ -95,8 +96,13 @@ class DebuggerBackend {
   // Instrumentation for the experiments.
   BackendCounters& counters() { return counters_; }
 
+  // Observability: per-narrow-call counts always, latency/bytes histograms
+  // and trace spans while enabled (see src/support/obs/metrics.h).
+  obs::BackendInstr& instr() { return instr_; }
+
  protected:
   BackendCounters counters_;
+  obs::BackendInstr instr_;
 };
 
 // Direct, in-process backend over a simulated debuggee image.

@@ -28,7 +28,7 @@ class CoroEngine final : public EvalEngine {
   }
 
   std::optional<Value> Next() override {
-    ctx_->Step();
+    ctx_->Step(root_ != nullptr ? root_->id : -1);
     std::optional<Value> v = gen_.Next();
     if (!v.has_value() && root_ != nullptr) {
       // The paper's restart rule: "After NOVALUE is returned, the next call
@@ -44,8 +44,10 @@ class CoroEngine final : public EvalEngine {
   Generator<Value> Gen(const Node& n);
   Generator<std::vector<Value>> ArgCombos(const Node& n, size_t idx);
 
-  std::optional<Value> Pull(Generator<Value>& g) {
-    ctx_->Step();
+  // Pulling one value from an operand burns a step attributed to the
+  // consuming node `n` (the resumption happens on its behalf).
+  std::optional<Value> Pull(Generator<Value>& g, const Node& n) {
+    ctx_->Step(n.id);
     return g.Next();
   }
 
@@ -89,7 +91,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     // --- display override -------------------------------------------------
     case Op::kBrace: {
       auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         Value v = *u;
         if (ctx.sym_on()) {
           v.set_sym(Sym::Plain(FormatValue(ctx, v)));
@@ -102,13 +104,13 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     // --- generators --------------------------------------------------------
     case Op::kTo: {
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         int64_t lo = ctx.ToI64(*u);
         auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2)) {
+        while (auto v = Pull(g2, n)) {
           int64_t hi = ctx.ToI64(*v);
           for (int64_t i = lo; i <= hi; ++i) {
-            ctx.Step();
+            ctx.Step(n.id);
             co_yield MakeIntValue(ctx, i);
           }
         }
@@ -117,10 +119,10 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     }
     case Op::kToPrefix: {  // ..e == 0..e-1
       auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         int64_t hi = ctx.ToI64(*u);
         for (int64_t i = 0; i < hi; ++i) {
-          ctx.Step();
+          ctx.Step(n.id);
           co_yield MakeIntValue(ctx, i);
         }
       }
@@ -128,9 +130,9 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     }
     case Op::kToOpen: {  // e.. : unbounded (fuel-limited)
       auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         for (int64_t i = ctx.ToI64(*u);; ++i) {
-          ctx.Step();
+          ctx.Step(n.id);
           co_yield MakeIntValue(ctx, i);
         }
       }
@@ -138,11 +140,11 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     }
     case Op::kAlternate: {
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         co_yield *u;
       }
       auto g2 = Gen(*n.kids[1]);
-      while (auto v = Pull(g2)) {
+      while (auto v = Pull(g2, n)) {
         co_yield *v;
       }
       break;
@@ -157,9 +159,9 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kIfNe: {
       Op cmp = FilterToComparison(n.op);
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2)) {
+        while (auto v = Pull(g2, n)) {
           if (ApplyComparison(ctx, cmp, *u, *v, n.range)) {
             co_yield *u;  // the filter returns its left operand
           }
@@ -171,9 +173,9 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     // --- sequence manipulators ----------------------------------------------
     case Op::kImply: {
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2)) {
+        while (auto v = Pull(g2, n)) {
           co_yield *v;
         }
       }
@@ -181,23 +183,23 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     }
     case Op::kSequence: {
       auto g1 = Gen(*n.kids[0]);
-      while (Pull(g1)) {
+      while (Pull(g1, n)) {
       }
       auto g2 = Gen(*n.kids[1]);
-      while (auto v = Pull(g2)) {
+      while (auto v = Pull(g2, n)) {
         co_yield *v;
       }
       break;
     }
     case Op::kDiscard: {
       auto g = Gen(*n.kids[0]);
-      while (Pull(g)) {
+      while (Pull(g, n)) {
       }
       break;
     }
     case Op::kDefine: {
       auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         ctx.aliases().Set(n.text, *u);
         Value out = *u;
         out.set_sym(ctx.MakeSym(n.text));
@@ -208,7 +210,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kIndexAlias: {
       auto g = Gen(*n.kids[0]);
       uint64_t i = 0;
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         ctx.aliases().Set(n.text, MakeIntValue(ctx, static_cast<int64_t>(i)));
         co_yield *u;
         ++i;
@@ -223,13 +225,13 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       std::vector<Value> cache;
       bool exhausted = false;
       auto gi = Gen(*n.kids[1]);
-      while (auto iv = Pull(gi)) {
+      while (auto iv = Pull(gi, n)) {
         int64_t want = ctx.ToI64(*iv);
         if (want < 0) {
           continue;
         }
         while (!exhausted && cache.size() <= static_cast<uint64_t>(want)) {
-          if (auto v = Pull(seq)) {
+          if (auto v = Pull(seq, n)) {
             cache.push_back(*v);
           } else {
             exhausted = true;
@@ -248,7 +250,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kUntil: {
       bool match = UntilMatchMode(*n.kids[1]);
       auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         if (match) {
           if (UntilEquals(ctx, *u, *n.kids[1])) {
             break;
@@ -260,7 +262,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
           try {
             auto gp = Gen(*n.kids[1]);
             while (auto p = gp.Next()) {
-              ctx.Step();
+              ctx.Step(n.id);
               if (ctx.Truthy(*p)) {
                 hit = true;
                 break;
@@ -284,7 +286,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kCount: {
       auto g = Gen(*n.kids[0]);
       int64_t count = 0;
-      while (Pull(g)) {
+      while (Pull(g, n)) {
         ++count;
       }
       co_yield Value::Int(ctx.types().Int(), count, Sym::None());
@@ -293,7 +295,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kSum: {
       auto g = Gen(*n.kids[0]);
       std::optional<Value> acc;
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         if (!acc.has_value()) {
           acc = ctx.Rvalue(*u);
         } else {
@@ -311,7 +313,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kAll: {
       auto g = Gen(*n.kids[0]);
       int64_t all = 1;
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         if (!ctx.Truthy(*u)) {
           all = 0;
           break;
@@ -323,7 +325,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kAny: {
       auto g = Gen(*n.kids[0]);
       int64_t any = 0;
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         if (ctx.Truthy(*u)) {
           any = 1;
           break;
@@ -337,8 +339,8 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       auto g2 = Gen(*n.kids[1]);
       int64_t equal = 1;
       for (;;) {
-        auto u = Pull(g1);
-        auto v = Pull(g2);
+        auto u = Pull(g1, n);
+        auto v = Pull(g2, n);
         if (!u.has_value() || !v.has_value()) {
           equal = (u.has_value() == v.has_value()) ? equal : 0;
           break;
@@ -356,15 +358,15 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kIf:
     case Op::kCond: {
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         if (ctx.Truthy(*u)) {
           auto g2 = Gen(*n.kids[1]);
-          while (auto v = Pull(g2)) {
+          while (auto v = Pull(g2, n)) {
             co_yield *v;
           }
         } else if (n.kids.size() > 2) {
           auto g3 = Gen(*n.kids[2]);
-          while (auto v = Pull(g3)) {
+          while (auto v = Pull(g3, n)) {
             co_yield *v;
           }
         }
@@ -375,7 +377,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       for (;;) {
         bool go = true;
         auto g1 = Gen(*n.kids[0]);
-        while (auto u = Pull(g1)) {
+        while (auto u = Pull(g1, n)) {
           if (!ctx.Truthy(*u)) {
             go = false;
             break;
@@ -385,7 +387,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
           break;
         }
         auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2)) {
+        while (auto v = Pull(g2, n)) {
           co_yield *v;
         }
       }
@@ -394,13 +396,13 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kFor: {
       {
         auto gi = Gen(*n.kids[0]);
-        while (Pull(gi)) {
+        while (Pull(gi, n)) {
         }
       }
       for (;;) {
         bool go = true;
         auto gc = Gen(*n.kids[1]);
-        while (auto u = Pull(gc)) {
+        while (auto u = Pull(gc, n)) {
           if (!ctx.Truthy(*u)) {
             go = false;
             break;
@@ -410,21 +412,21 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
           break;
         }
         auto gb = Gen(*n.kids[3]);
-        while (auto v = Pull(gb)) {
+        while (auto v = Pull(gb, n)) {
           co_yield *v;
         }
         auto gs = Gen(*n.kids[2]);
-        while (Pull(gs)) {
+        while (Pull(gs, n)) {
         }
       }
       break;
     }
     case Op::kAndAnd: {
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         if (ctx.Truthy(*u)) {
           auto g2 = Gen(*n.kids[1]);
-          while (auto v = Pull(g2)) {
+          while (auto v = Pull(g2, n)) {
             co_yield *v;
           }
         }
@@ -433,12 +435,12 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     }
     case Op::kOrOr: {
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         if (ctx.Truthy(*u)) {
           co_yield *u;
         } else {
           auto g2 = Gen(*n.kids[1]);
-          while (auto v = Pull(g2)) {
+          while (auto v = Pull(g2, n)) {
             co_yield *v;
           }
         }
@@ -451,7 +453,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kArrowWith: {
       bool arrow = n.op == Op::kArrowWith;
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         WithScope scope{*u, arrow};
         ctx.scopes().Push(scope);
         auto g2 = Gen(*n.kids[1]);
@@ -459,7 +461,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
         for (;;) {
           std::optional<Value> v;
           try {
-            ctx.Step();
+            ctx.Step(n.id);
             v = g2.Next();
           } catch (...) {
             ctx.scopes().Pop();
@@ -486,13 +488,13 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kBfs: {
       bool bfs = n.op == Op::kBfs;
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         ExpandState st;
         if (ExpandAdmit(ctx, st, *u)) {
           st.pending.push_back(*u);
         }
         while (!st.pending.empty()) {
-          ctx.Step();
+          ctx.Step(n.id);
           Value x;
           if (bfs) {
             x = st.pending.front();
@@ -510,7 +512,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
           try {
             auto g2 = Gen(*n.kids[1]);
             while (auto w = g2.Next()) {
-              ctx.Step();
+              ctx.Step(n.id);
               Value child = ComposeWithResult(ctx, x, true, *w);
               if (ExpandAdmit(ctx, st, child)) {
                 children.push_back(std::move(child));
@@ -556,7 +558,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       }
       auto combos = ArgCombos(n, 1);
       while (auto args = combos.Next()) {
-        ctx.Step();
+        ctx.Step(n.id);
         co_yield CallTarget(ctx, callee.text, *args, n.range);
       }
       break;
@@ -565,9 +567,9 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     // --- C operators -----------------------------------------------------------
     case Op::kIndex: {
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2)) {
+        while (auto v = Pull(g2, n)) {
           co_yield ApplyIndex(ctx, *u, *v, n.range);
         }
       }
@@ -576,14 +578,14 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kCast: {
       TypeRef type = ctx.ResolveTypeSpec(n.type_spec, n.range);
       auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         co_yield ApplyCast(ctx, type, *u, n.range);
       }
       break;
     }
     case Op::kSizeofExpr: {
       auto g = Gen(*n.kids[0]);
-      if (auto u = Pull(g)) {
+      if (auto u = Pull(g, n)) {
         // No decay: sizeof of an array lvalue is the whole array size.
         co_yield Value::Int(ctx.types().ULong(),
                             static_cast<int64_t>(u->type() ? u->type()->size() : 0),
@@ -598,7 +600,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kDeref:
     case Op::kAddrOf: {
       auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         co_yield ApplyUnary(ctx, n.op, *u, n.range);
       }
       break;
@@ -608,7 +610,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kPostInc:
     case Op::kPostDec: {
       auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g)) {
+      while (auto u = Pull(g, n)) {
         co_yield ApplyIncDec(ctx, n.op, *u, n.range);
       }
       break;
@@ -625,9 +627,9 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     case Op::kXorEq:
     case Op::kOrEq: {
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2)) {
+        while (auto v = Pull(g2, n)) {
           co_yield ApplyAssign(ctx, n.op, *u, *v, n.range);
         }
       }
@@ -635,9 +637,9 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
     }
     default: {  // remaining binary arithmetic/bitwise/comparison operators
       auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1)) {
+      while (auto u = Pull(g1, n)) {
         auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2)) {
+        while (auto v = Pull(g2, n)) {
           co_yield ApplyBinary(ctx, n.op, *u, *v, n.range);
         }
       }
@@ -652,7 +654,7 @@ Generator<std::vector<Value>> CoroEngine::ArgCombos(const Node& n, size_t idx) {
     co_return;
   }
   auto g = Gen(*n.kids[idx]);
-  while (auto u = Pull(g)) {
+  while (auto u = Pull(g, n)) {
     auto rest = ArgCombos(n, idx + 1);
     while (auto tail = rest.Next()) {
       std::vector<Value> combo;

@@ -105,7 +105,7 @@ class SmEngine final : public EvalEngine {
 
 std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-function-size)
   EvalContext& ctx = *ctx_;
-  ctx.Step();
+  ctx.Step(n.id);
   NodeState& st = StateOf(n);
 
   switch (n.op) {
@@ -251,7 +251,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
           }
           default:
             if (st.i <= st.hi) {
-              ctx.Step();
+              ctx.Step(n.id);
               return MakeIntValue(ctx, st.i++);
             }
             st.phase = 1;
@@ -271,7 +271,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
           st.phase = 1;
         }
         if (st.i <= st.hi) {
-          ctx.Step();
+          ctx.Step(n.id);
           return MakeIntValue(ctx, st.i++);
         }
         st.phase = 0;
@@ -287,7 +287,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
           st.i = ctx.ToI64(*u);
           st.phase = 1;
         }
-        ctx.Step();
+        ctx.Step(n.id);
         return MakeIntValue(ctx, st.i++);
       }
     }
@@ -572,7 +572,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
         }
         ExpandState& ex = st.extra->expand;
         while (!ex.pending.empty()) {
-          ctx.Step();
+          ctx.Step(n.id);
           Value x;
           if (bfs) {
             x = ex.pending.front();

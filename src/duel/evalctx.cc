@@ -8,7 +8,10 @@ namespace duel {
 
 using target::TypeKind;
 
-void EvalContext::Step() {
+void EvalContext::Step(int node_id) {
+  if (profiler_ != nullptr) {
+    profiler_->OnStep(node_id);
+  }
   if (++counters_.eval_steps > opts_.max_steps) {
     throw DuelError(ErrorKind::kLimit,
                     StrPrintf("evaluation exceeded %llu steps (unbounded generator?)",

@@ -14,6 +14,7 @@
 #include "src/duel/scope.h"
 #include "src/duel/value.h"
 #include "src/support/counters.h"
+#include "src/support/obs/profile.h"
 
 namespace duel {
 
@@ -77,7 +78,13 @@ class EvalContext {
   }
 
   // Fuel accounting; throws DuelError(kLimit) when exhausted.
-  void Step();
+  // Burns one unit of evaluation fuel and, when a profiler is attached,
+  // attributes the step to `node_id` (the dense Node::id; -1 = unattributed).
+  void Step(int node_id = -1);
+
+  // Per-node profiler hook (owned by the session; may be null).
+  void set_profiler(obs::NodeProfiler* p) { profiler_ = p; }
+  obs::NodeProfiler* profiler() const { return profiler_; }
 
   // --- value plumbing -------------------------------------------------------
 
@@ -133,6 +140,7 @@ class EvalContext {
   AliasTable aliases_;
   ScopeStack scopes_;
   EvalCounters counters_;
+  obs::NodeProfiler* profiler_ = nullptr;
   std::map<std::string, std::optional<dbg::VariableInfo>> lookup_cache_;
 };
 

@@ -1,10 +1,41 @@
 #include "src/duel/session.h"
 
+#include <array>
+
 #include "src/duel/output.h"
 #include "src/duel/parser.h"
 #include "src/duel/prebind.h"
 
 namespace duel {
+
+namespace {
+
+// Pairs profiler slots with the parsed tree, preorder, clipping each node's
+// source excerpt for the heat view.
+void FillProfile(const Node& n, int depth, const std::string& expr,
+                 const std::vector<obs::NodeProfiler::Slot>& slots,
+                 std::vector<obs::QueryStats::NodeProfile>* out) {
+  obs::QueryStats::NodeProfile p;
+  p.node_id = n.id;
+  p.depth = depth;
+  p.op = OpName(n.op);
+  if (!n.range.empty() && n.range.end <= expr.size()) {
+    p.excerpt = expr.substr(n.range.begin, n.range.end - n.range.begin);
+    if (p.excerpt.size() > 32) {
+      p.excerpt = p.excerpt.substr(0, 29) + "...";
+    }
+  }
+  if (n.id >= 0 && static_cast<size_t>(n.id) < slots.size()) {
+    p.steps = slots[static_cast<size_t>(n.id)].steps;
+    p.time_ns = slots[static_cast<size_t>(n.id)].time_ns;
+  }
+  out->push_back(std::move(p));
+  for (const NodePtr& k : n.kids) {
+    FillProfile(*k, depth + 1, expr, slots, out);
+  }
+}
+
+}  // namespace
 
 std::string QueryResult::Text() const {
   std::string out;
@@ -35,38 +66,125 @@ void Session::Remember(const std::string& expr) {
   }
 }
 
+uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
+  const bool collect = opts_.collect_stats || opts_.profile;
+  obs::BackendInstr& instr = backend_->instr();
+  instr.set_tracer(&tracer_);
+  instr.set_enabled(collect || tracer_.enabled());
+  ctx_.set_profiler(nullptr);
+
+  obs::QueryStats stats;
+  std::array<uint64_t, obs::kNumNarrowCalls> calls_before{};
+  EvalCounters eval_before;
+  BackendCounters backend_before;
+  if (collect) {
+    instr.ResetHistograms();
+    for (size_t i = 0; i < obs::kNumNarrowCalls; ++i) {
+      calls_before[i] = instr.calls(static_cast<obs::NarrowCall>(i));
+    }
+    eval_before = ctx_.counters();
+    backend_before = backend_->counters();
+    stats.query = expr;
+  }
+
+  const uint64_t t_query = obs::NowNs();
+  obs::Span query_span(&tracer_, "query", expr);
+
+  ParseResult parsed;
+  {
+    obs::Span span(&tracer_, "parse");
+    Parser parser(expr, [this](const std::string& name) {
+      return backend_->GetTargetTypedef(name) != nullptr;
+    });
+    parsed = parser.Parse();
+  }
+  stats.parse_ns = obs::NowNs() - t_query;
+
+  const uint64_t t_prebind = obs::NowNs();
+  if (opts_.eval.prebind) {
+    obs::Span span(&tracer_, "prebind");
+    PrebindNames(ctx_, *parsed.root);
+  }
+  stats.prebind_ns = obs::NowNs() - t_prebind;
+
+  std::unique_ptr<EvalEngine> engine = MakeEngine(opts_.engine, ctx_);
+  stats.engine = engine->name();
+  if (opts_.profile) {
+    profiler_.Begin(parsed.num_nodes);
+    ctx_.set_profiler(&profiler_);
+  }
+
+  const uint64_t t_eval = obs::NowNs();
+  uint64_t count = 0;
+  {
+    obs::Span span(&tracer_, "eval");
+    engine->Start(*parsed.root, parsed.num_nodes);
+    while (auto v = engine->Next()) {
+      ++count;
+      if (result != nullptr) {
+        ctx_.counters().values_produced++;
+        result->value_count++;
+        ResultEntry entry;
+        entry.value = FormatValue(ctx_, *v);
+        if (!v->sym().empty()) {
+          entry.sym = v->sym().Text();
+        }
+        result->entries.push_back(entry);
+        result->lines.push_back(entry.sym.empty() || entry.sym == entry.value
+                                    ? entry.value
+                                    : entry.sym + " = " + entry.value);
+        if (result->value_count >= opts_.max_output_values) {
+          result->truncated = true;
+          result->lines.push_back("...");
+          break;
+        }
+      }
+    }
+  }
+  stats.eval_ns = obs::NowNs() - t_eval;
+  stats.total_ns = obs::NowNs() - t_query;
+  if (opts_.profile) {
+    profiler_.End();
+    ctx_.set_profiler(nullptr);
+  }
+
+  if (collect) {
+    stats.values = count;
+    stats.eval = obs::CountersDelta(eval_before, ctx_.counters());
+    stats.backend = obs::CountersDelta(backend_before, backend_->counters());
+    for (size_t i = 0; i < obs::kNumNarrowCalls; ++i) {
+      stats.call_counts[i] = instr.calls(static_cast<obs::NarrowCall>(i)) - calls_before[i];
+      stats.call_ns[i] = instr.latency_ns(static_cast<obs::NarrowCall>(i));
+    }
+    stats.read_bytes = instr.read_bytes();
+    stats.write_bytes = instr.write_bytes();
+    if (opts_.profile) {
+      stats.profiled_steps = profiler_.total_steps();
+      FillProfile(*parsed.root, 0, expr, profiler_.slots(), &stats.nodes);
+      const std::vector<obs::NodeProfiler::Slot>& slots = profiler_.slots();
+      if (!slots.empty() && slots.back().steps > 0) {
+        obs::QueryStats::NodeProfile p;
+        p.node_id = -1;
+        p.op = "(unattributed)";
+        p.steps = slots.back().steps;
+        p.time_ns = slots.back().time_ns;
+        stats.nodes.push_back(std::move(p));
+      }
+    }
+    last_stats_ = stats;
+    if (result != nullptr) {
+      result->stats = std::move(stats);
+    }
+  }
+  return count;
+}
+
 QueryResult Session::Query(const std::string& expr) {
   QueryResult result;
   Remember(expr);
   ctx_.opts() = opts_.eval;  // pick up option changes between queries
   try {
-    Parser parser(expr, [this](const std::string& name) {
-      return backend_->GetTargetTypedef(name) != nullptr;
-    });
-    ParseResult parsed = parser.Parse();
-    if (opts_.eval.prebind) {
-      PrebindNames(ctx_, *parsed.root);
-    }
-    std::unique_ptr<EvalEngine> engine = MakeEngine(opts_.engine, ctx_);
-    engine->Start(*parsed.root, parsed.num_nodes);
-    while (auto v = engine->Next()) {
-      result.value_count++;
-      ctx_.counters().values_produced++;
-      ResultEntry entry;
-      entry.value = FormatValue(ctx_, *v);
-      if (!v->sym().empty()) {
-        entry.sym = v->sym().Text();
-      }
-      result.entries.push_back(entry);
-      result.lines.push_back(entry.sym.empty() || entry.sym == entry.value
-                                 ? entry.value
-                                 : entry.sym + " = " + entry.value);
-      if (result.value_count >= opts_.max_output_values) {
-        result.truncated = true;
-        result.lines.push_back("...");
-        break;
-      }
-    }
+    DriveCore(expr, &result);
   } catch (const DuelError& e) {
     result.ok = false;
     result.error = FormatError(e);
@@ -76,20 +194,7 @@ QueryResult Session::Query(const std::string& expr) {
 
 uint64_t Session::Drive(const std::string& expr) {
   ctx_.opts() = opts_.eval;
-  Parser parser(expr, [this](const std::string& name) {
-    return backend_->GetTargetTypedef(name) != nullptr;
-  });
-  ParseResult parsed = parser.Parse();
-  if (opts_.eval.prebind) {
-    PrebindNames(ctx_, *parsed.root);
-  }
-  std::unique_ptr<EvalEngine> engine = MakeEngine(opts_.engine, ctx_);
-  engine->Start(*parsed.root, parsed.num_nodes);
-  uint64_t count = 0;
-  while (engine->Next().has_value()) {
-    ++count;
-  }
-  return count;
+  return DriveCore(expr, nullptr);
 }
 
 }  // namespace duel

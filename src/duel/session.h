@@ -8,6 +8,7 @@
 #ifndef DUEL_DUEL_SESSION_H_
 #define DUEL_DUEL_SESSION_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,9 @@
 #include "src/duel/eval.h"
 #include "src/duel/evalctx.h"
 #include "src/duel/value.h"
+#include "src/support/obs/metrics.h"
+#include "src/support/obs/profile.h"
+#include "src/support/obs/trace.h"
 
 namespace duel {
 
@@ -23,6 +27,13 @@ struct SessionOptions {
   EvalOptions eval;
   size_t max_output_values = 100'000;  // guard against unbounded output
   size_t max_history = 100;            // query history depth (0 = off)
+
+  // Observability (see src/support/obs/): collect_stats assembles an
+  // obs::QueryStats per query (phase timings, counter deltas, narrow-call
+  // latency histograms); profile additionally attributes every eval step to
+  // its AST node. Both are off by default — the hot path stays uninstrumented.
+  bool collect_stats = false;
+  bool profile = false;
 };
 
 // One produced value, in structured form (used by the MI front end).
@@ -38,6 +49,9 @@ struct QueryResult {
   std::string error;                 // rendered error when !ok
   uint64_t value_count = 0;
   bool truncated = false;            // hit max_output_values
+
+  // Filled when SessionOptions::collect_stats (or ::profile) was on.
+  std::optional<obs::QueryStats> stats;
 
   // Joined lines (+ error if any), each terminated by '\n'.
   std::string Text() const;
@@ -64,13 +78,28 @@ class Session {
   const std::vector<std::string>& history() const { return history_; }
   void ClearHistory() { history_.clear(); }
 
+  // Session-owned span tracer (parse/prebind/eval/backend.* spans while
+  // enabled; `trace on` in the REPL, -duel-trace in MI).
+  obs::Tracer& tracer() { return tracer_; }
+
+  // Stats of the most recent instrumented query, if any.
+  const std::optional<obs::QueryStats>& last_stats() const { return last_stats_; }
+
  private:
   void Remember(const std::string& expr);
+
+  // Shared parse/prebind/eval pipeline. With a non-null `result`, values are
+  // formatted into it (the `duel expr` command); otherwise they are counted
+  // and discarded (benchmarks). Collects stats/profile per opts_.
+  uint64_t DriveCore(const std::string& expr, QueryResult* result);
 
   dbg::DebuggerBackend* backend_;
   SessionOptions opts_;
   EvalContext ctx_;
   std::vector<std::string> history_;
+  obs::Tracer tracer_;
+  obs::NodeProfiler profiler_;
+  std::optional<obs::QueryStats> last_stats_;
 };
 
 }  // namespace duel

@@ -168,10 +168,65 @@ std::string MiSession::HandleCommand(const std::string& token, const std::string
     session_.ClearAliases();
     return done();
   }
+  if (command == "-duel-stats") {
+    if (rest == "on") {
+      session_.options().collect_stats = true;
+      return done();
+    }
+    if (rest == "off") {
+      session_.options().collect_stats = false;
+      session_.options().profile = false;
+      return done();
+    }
+    if (rest == "profile") {
+      session_.options().collect_stats = true;
+      session_.options().profile = true;
+      return done();
+    }
+    if (!rest.empty()) {
+      return error("expected on|off|profile or no argument");
+    }
+    // Bare form: report the stats of the most recent instrumented query.
+    const std::optional<obs::QueryStats>& stats = session_.last_stats();
+    if (!stats.has_value()) {
+      return error("no stats collected yet; run -duel-stats on first");
+    }
+    std::string extra = ",stats=" + MiQuote(stats->ToJson());
+    return done(extra);
+  }
+  if (command == "-duel-trace") {
+    obs::Tracer& tracer = session_.tracer();
+    if (rest == "on") {
+      tracer.set_enabled(true);
+      return done();
+    }
+    if (rest == "off") {
+      tracer.set_enabled(false);
+      return done();
+    }
+    if (rest == "clear") {
+      tracer.Clear();
+      return done();
+    }
+    if (rest == "dump" || rest.empty()) {
+      std::string out;
+      for (const obs::TraceEvent& e : tracer.Events()) {
+        out += "~" + MiQuote(std::string(static_cast<size_t>(e.depth) * 2, ' ') + e.name +
+                             (e.detail.empty() ? "" : " " + e.detail) + " " +
+                             StrPrintf("%lluns", static_cast<unsigned long long>(e.dur_ns)) +
+                             "\n") +
+               "\n";
+      }
+      std::string extra = StrPrintf(",spans=\"%zu\",dropped=\"%llu\"", tracer.size(),
+                                    static_cast<unsigned long long>(tracer.dropped()));
+      return out + done(extra);
+    }
+    return error("expected on|off|dump|clear");
+  }
   if (command == "-list-features") {
     return done(
         ",features=[\"duel-evaluate\",\"duel-set-engine\",\"duel-set-symbolic\","
-        "\"duel-clear-aliases\"]");
+        "\"duel-clear-aliases\",\"duel-stats\",\"duel-trace\"]");
   }
   return error("undefined MI command: " + command);
 }

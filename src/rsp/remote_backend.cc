@@ -38,6 +38,10 @@ std::string RemoteBackend::Request(const std::string& payload) {
 }
 
 void RemoteBackend::GetTargetBytes(Addr addr, void* out, size_t size) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kGetBytes);
+  if (instr_.enabled()) {
+    instr_.RecordReadBytes(size);
+  }
   counters_.read_calls++;
   counters_.bytes_read += size;
   std::string r = Request("m" + HexU64(addr) + "," + HexU64(size));
@@ -53,6 +57,10 @@ void RemoteBackend::GetTargetBytes(Addr addr, void* out, size_t size) {
 }
 
 void RemoteBackend::PutTargetBytes(Addr addr, const void* in, size_t size) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kPutBytes);
+  if (instr_.enabled()) {
+    instr_.RecordWriteBytes(size);
+  }
   counters_.write_calls++;
   counters_.bytes_written += size;
   std::string r = Request("M" + HexU64(addr) + "," + HexU64(size) + ":" + HexEncode(in, size));
@@ -63,10 +71,12 @@ void RemoteBackend::PutTargetBytes(Addr addr, const void* in, size_t size) {
 }
 
 bool RemoteBackend::ValidTargetBytes(Addr addr, size_t size) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kValidBytes);
   return Request("qValid:" + HexU64(addr) + "," + HexU64(size)) == "OK";
 }
 
 Addr RemoteBackend::AllocTargetSpace(size_t size, size_t align) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kAllocSpace);
   counters_.allocations++;
   std::string r = Request("qAlloc:" + HexU64(size) + "," + HexU64(align));
   uint64_t addr;
@@ -78,6 +88,7 @@ Addr RemoteBackend::AllocTargetSpace(size_t size, size_t align) {
 
 RawDatum RemoteBackend::CallTargetFunc(const std::string& name,
                                        std::span<const RawDatum> args) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kCallFunc);
   counters_.target_calls++;
   std::string req = "vCall:" + HexName(name) + ":";
   for (const RawDatum& a : args) {
@@ -109,6 +120,7 @@ RawDatum RemoteBackend::CallTargetFunc(const std::string& name,
 }
 
 std::optional<dbg::VariableInfo> RemoteBackend::GetTargetVariable(const std::string& name) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kSymbolLookup);
   counters_.symbol_lookups++;
   std::string r = Request("qVar:" + HexName(name));
   if (StartsWith(r, "E")) {
@@ -128,6 +140,7 @@ std::optional<dbg::VariableInfo> RemoteBackend::GetTargetVariable(const std::str
 }
 
 std::optional<dbg::FunctionInfo> RemoteBackend::GetTargetFunction(const std::string& name) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kSymbolLookup);
   counters_.symbol_lookups++;
   std::string r = Request("qFunc:" + HexName(name));
   if (StartsWith(r, "E")) {
@@ -147,6 +160,7 @@ std::optional<dbg::FunctionInfo> RemoteBackend::GetTargetFunction(const std::str
 }
 
 TypeRef RemoteBackend::QueryType(const std::string& command, const std::string& name) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kTypeLookup);
   counters_.type_lookups++;
   std::string r = Request(command + ":" + HexName(name));
   if (StartsWith(r, "E") || !StartsWith(r, "T")) {
@@ -173,6 +187,7 @@ TypeRef RemoteBackend::GetTargetEnum(const std::string& tag) {
 
 std::optional<dbg::EnumeratorInfo> RemoteBackend::GetTargetEnumerator(
     const std::string& name) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kSymbolLookup);
   counters_.symbol_lookups++;
   std::string r = Request("qEnumConst:" + HexName(name));
   if (!StartsWith(r, "C")) {
@@ -190,6 +205,7 @@ std::optional<dbg::EnumeratorInfo> RemoteBackend::GetTargetEnumerator(
 }
 
 size_t RemoteBackend::NumFrames() {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kFrames);
   std::string r = Request("qFrames");
   uint64_t n;
   if (!StartsWith(r, "N") || !ParseHexU64(std::string_view(r).substr(1), &n)) {
@@ -199,6 +215,7 @@ size_t RemoteBackend::NumFrames() {
 }
 
 std::string RemoteBackend::FrameFunction(size_t frame) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kFrames);
   std::string r = Request("qFrameFn:" + HexU64(frame));
   if (!StartsWith(r, "F")) {
     ProtocolFail("bad frame-function response");
@@ -211,6 +228,7 @@ std::string RemoteBackend::FrameFunction(size_t frame) {
 }
 
 std::vector<dbg::FrameVariable> RemoteBackend::FrameLocals(size_t frame) {
+  obs::CallTimer timer(instr_, obs::NarrowCall::kFrames);
   std::string r = Request("qFrameLocals:" + HexU64(frame));
   if (!StartsWith(r, "L")) {
     ProtocolFail("bad frame-locals response");

@@ -35,6 +35,24 @@ bool ParsePair(std::string_view s, uint64_t* a, uint64_t* b) {
 
 std::string RspServer::Handle(const std::string& request) {
   requests_++;
+  if (log_packets_) {
+    LogPacket(/*is_request=*/true, request);
+  }
+  std::string response = HandleImpl(request);
+  if (log_packets_) {
+    LogPacket(/*is_request=*/false, response);
+  }
+  return response;
+}
+
+void RspServer::LogPacket(bool is_request, const std::string& payload) {
+  if (packet_log_.size() >= kMaxLoggedPackets) {
+    packet_log_.pop_front();
+  }
+  packet_log_.push_back(WirePacket{is_request, payload, obs::NowNs()});
+}
+
+std::string RspServer::HandleImpl(const std::string& request) {
   try {
     if (StartsWith(request, "m")) {
       uint64_t addr, len;

@@ -22,11 +22,20 @@
 #ifndef DUEL_RSP_SERVER_H_
 #define DUEL_RSP_SERVER_H_
 
+#include <deque>
 #include <string>
 
 #include "src/dbg/backend.h"
+#include "src/support/obs/trace.h"
 
 namespace duel::rsp {
+
+// One logged wire packet (request or response payload).
+struct WirePacket {
+  bool is_request = false;
+  std::string payload;
+  uint64_t ns = 0;  // steady-clock timestamp (obs::NowNs)
+};
 
 class RspServer {
  public:
@@ -37,9 +46,22 @@ class RspServer {
 
   uint64_t requests_handled() const { return requests_; }
 
+  // Wire-level packet log: while enabled, every request/response payload is
+  // appended to a bounded deque (oldest packets dropped past the cap).
+  void set_packet_logging(bool on) { log_packets_ = on; }
+  bool packet_logging() const { return log_packets_; }
+  const std::deque<WirePacket>& packet_log() const { return packet_log_; }
+  void ClearPacketLog() { packet_log_.clear(); }
+  static constexpr size_t kMaxLoggedPackets = 512;
+
  private:
+  std::string HandleImpl(const std::string& request);
+  void LogPacket(bool is_request, const std::string& payload);
+
   dbg::DebuggerBackend* backend_;
   uint64_t requests_ = 0;
+  bool log_packets_ = false;
+  std::deque<WirePacket> packet_log_;
 };
 
 }  // namespace duel::rsp

@@ -1,0 +1,111 @@
+#include "src/support/obs/trace.h"
+
+#include <chrono>
+
+#include "src/support/strings.h"
+
+namespace duel::obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_ns_(NowNs()) {}
+
+void Tracer::Clear() {
+  events_.clear();
+  stack_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  next_id_ = 1;
+  epoch_ns_ = NowNs();
+}
+
+uint64_t Tracer::BeginSpan(std::string name, std::string detail) {
+  if (!enabled_) {
+    return 0;
+  }
+  Active a;
+  a.id = next_id_++;
+  a.name = std::move(name);
+  a.detail = std::move(detail);
+  a.start_ns = NowNs() - epoch_ns_;
+  stack_.push_back(std::move(a));
+  return stack_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t token) {
+  if (token == 0 || stack_.empty()) {
+    return;
+  }
+  // Unwind to the span with this token; exceptions may have skipped EndSpan
+  // for deeper spans, which are closed (with the same end time) on the way.
+  while (!stack_.empty()) {
+    Active a = std::move(stack_.back());
+    stack_.pop_back();
+    uint64_t closed_id = a.id;
+    TraceEvent ev;
+    ev.id = a.id;
+    ev.parent = stack_.empty() ? 0 : stack_.back().id;
+    ev.depth = static_cast<int>(stack_.size());
+    ev.name = std::move(a.name);
+    ev.detail = std::move(a.detail);
+    ev.start_ns = a.start_ns;
+    ev.dur_ns = NowNs() - epoch_ns_ - a.start_ns;
+    if (events_.size() < capacity_) {
+      events_.push_back(std::move(ev));
+    } else {
+      dropped_++;
+      events_[head_] = std::move(ev);
+      head_ = (head_ + 1) % capacity_;
+    }
+    if (closed_id == token) {
+      break;
+    }
+  }
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+void Tracer::ExportJsonl(std::ostream& os) const {
+  for (const TraceEvent& ev : Events()) {
+    os << "{\"id\":" << ev.id << ",\"parent\":" << ev.parent << ",\"depth\":" << ev.depth
+       << ",\"name\":\"" << JsonEscape(ev.name) << "\",\"detail\":\"" << JsonEscape(ev.detail)
+       << "\",\"start_ns\":" << ev.start_ns << ",\"dur_ns\":" << ev.dur_ns << "}\n";
+  }
+}
+
+}  // namespace duel::obs

@@ -1,0 +1,377 @@
+#include "src/target/ctype.h"
+
+#include <algorithm>
+
+namespace duel::target {
+
+namespace {
+
+size_t AlignUp(size_t n, size_t a) { return (n + a - 1) / a * a; }
+
+struct BasicLayout {
+  size_t size;
+  size_t align;
+};
+
+BasicLayout LayoutOf(TypeKind k) {
+  switch (k) {
+    case TypeKind::kVoid: return {0, 1};
+    case TypeKind::kBool: return {1, 1};
+    case TypeKind::kChar:
+    case TypeKind::kSChar:
+    case TypeKind::kUChar: return {1, 1};
+    case TypeKind::kShort:
+    case TypeKind::kUShort: return {2, 2};
+    case TypeKind::kInt:
+    case TypeKind::kUInt: return {4, 4};
+    case TypeKind::kLong:
+    case TypeKind::kULong:
+    case TypeKind::kLongLong:
+    case TypeKind::kULongLong: return {8, 8};
+    case TypeKind::kFloat: return {4, 4};
+    case TypeKind::kDouble: return {8, 8};
+    default: return {0, 1};
+  }
+}
+
+}  // namespace
+
+const Member* Type::FindMember(const std::string& name) const {
+  for (const Member& m : members_) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+bool Type::IsInteger() const {
+  switch (kind_) {
+    case TypeKind::kBool:
+    case TypeKind::kChar:
+    case TypeKind::kSChar:
+    case TypeKind::kUChar:
+    case TypeKind::kShort:
+    case TypeKind::kUShort:
+    case TypeKind::kInt:
+    case TypeKind::kUInt:
+    case TypeKind::kLong:
+    case TypeKind::kULong:
+    case TypeKind::kLongLong:
+    case TypeKind::kULongLong:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Type::IsSignedInteger() const {
+  switch (kind_) {
+    case TypeKind::kChar:  // plain char is signed on this target
+    case TypeKind::kSChar:
+    case TypeKind::kShort:
+    case TypeKind::kInt:
+    case TypeKind::kLong:
+    case TypeKind::kLongLong:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Type::IsUnsignedInteger() const {
+  return IsInteger() && !IsSignedInteger();
+}
+
+bool Type::IsFloating() const {
+  return kind_ == TypeKind::kFloat || kind_ == TypeKind::kDouble;
+}
+
+bool Type::IsArithmetic() const {
+  return IsInteger() || IsFloating() || kind_ == TypeKind::kEnum;
+}
+
+bool Type::IsScalar() const {
+  return IsArithmetic() || kind_ == TypeKind::kPointer;
+}
+
+std::string Type::BaseName() const {
+  switch (kind_) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kChar: return "char";
+    case TypeKind::kSChar: return "signed char";
+    case TypeKind::kUChar: return "unsigned char";
+    case TypeKind::kShort: return "short";
+    case TypeKind::kUShort: return "unsigned short";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kUInt: return "unsigned int";
+    case TypeKind::kLong: return "long";
+    case TypeKind::kULong: return "unsigned long";
+    case TypeKind::kLongLong: return "long long";
+    case TypeKind::kULongLong: return "unsigned long long";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kEnum: return "enum " + tag_;
+    case TypeKind::kStruct: return "struct " + tag_;
+    case TypeKind::kUnion: return "union " + tag_;
+    default: return "?";
+  }
+}
+
+std::string Type::Declare(const std::string& name) const {
+  // The classic inside-out declarator walk: accumulate the declarator string
+  // while descending through pointers/arrays/functions, parenthesizing a
+  // pointer declarator whenever it binds against an array or function.
+  std::string decl = name;
+  const Type* t = this;
+  for (;;) {
+    switch (t->kind_) {
+      case TypeKind::kPointer:
+        decl = "*" + decl;
+        t = t->target_.get();
+        break;
+      case TypeKind::kArray: {
+        if (!decl.empty() && decl[0] == '*') {
+          decl = "(" + decl + ")";
+        }
+        decl += "[" + std::to_string(t->array_count_) + "]";
+        t = t->target_.get();
+        break;
+      }
+      case TypeKind::kFunction: {
+        if (!decl.empty() && decl[0] == '*') {
+          decl = "(" + decl + ")";
+        }
+        std::string params;
+        for (const Param& p : t->params_) {
+          if (!params.empty()) {
+            params += ", ";
+          }
+          params += p.type->Declare(p.name);
+        }
+        if (t->variadic_) {
+          params += params.empty() ? "..." : ", ...";
+        }
+        decl += "(" + params + ")";
+        t = t->return_type_.get();
+        break;
+      }
+      default: {
+        std::string base = t->BaseName();
+        if (decl.empty()) {
+          return base;
+        }
+        return base + " " + decl;
+      }
+    }
+  }
+}
+
+bool TypeEquals(const TypeRef& a, const TypeRef& b) {
+  if (a.get() == b.get()) {
+    return true;
+  }
+  if (a == nullptr || b == nullptr || a->kind() != b->kind()) {
+    return false;
+  }
+  switch (a->kind()) {
+    case TypeKind::kPointer:
+      return TypeEquals(a->target(), b->target());
+    case TypeKind::kArray:
+      return a->array_count() == b->array_count() && TypeEquals(a->target(), b->target());
+    case TypeKind::kStruct:
+    case TypeKind::kUnion:
+    case TypeKind::kEnum:
+      return a->tag() == b->tag();
+    case TypeKind::kFunction: {
+      if (a->variadic() != b->variadic() || a->params().size() != b->params().size() ||
+          !TypeEquals(a->return_type(), b->return_type())) {
+        return false;
+      }
+      for (size_t i = 0; i < a->params().size(); ++i) {
+        if (!TypeEquals(a->params()[i].type, b->params()[i].type)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return true;  // basic kinds match by kind alone
+  }
+}
+
+TypeTable::TypeTable() {
+  for (int k = 0; k <= static_cast<int>(TypeKind::kDouble); ++k) {
+    auto* t = new Type(static_cast<TypeKind>(k));
+    BasicLayout l = LayoutOf(t->kind_);
+    t->size_ = l.size;
+    t->align_ = l.align;
+    basics_[k] = TypeRef(t);
+  }
+}
+
+const TypeRef& TypeTable::Basic(TypeKind k) const {
+  if (k > TypeKind::kDouble) {
+    throw DuelError(ErrorKind::kInternal,
+                    "Basic() called with a derived type kind");
+  }
+  return basics_[static_cast<int>(k)];
+}
+
+TypeRef TypeTable::PointerTo(const TypeRef& t) {
+  auto it = pointers_.find(t.get());
+  if (it != pointers_.end()) {
+    return it->second;
+  }
+  auto* p = new Type(TypeKind::kPointer);
+  p->size_ = 8;
+  p->align_ = 8;
+  p->target_ = t;
+  TypeRef ref(p);
+  pointers_.emplace(t.get(), ref);
+  return ref;
+}
+
+TypeRef TypeTable::ArrayOf(const TypeRef& elem, size_t count) {
+  auto key = std::make_pair(elem.get(), count);
+  auto it = arrays_.find(key);
+  if (it != arrays_.end()) {
+    return it->second;
+  }
+  auto* a = new Type(TypeKind::kArray);
+  a->size_ = elem->size() * count;
+  a->align_ = elem->align();
+  a->target_ = elem;
+  a->array_count_ = count;
+  TypeRef ref(a);
+  arrays_.emplace(key, ref);
+  return ref;
+}
+
+TypeRef TypeTable::Function(const TypeRef& ret, std::vector<Param> params, bool variadic) {
+  auto* f = new Type(TypeKind::kFunction);
+  f->size_ = 0;
+  f->align_ = 1;
+  f->return_type_ = ret;
+  f->params_ = std::move(params);
+  f->variadic_ = variadic;
+  return TypeRef(f);
+}
+
+TypeRef TypeTable::DeclareStruct(const std::string& tag) {
+  auto it = structs_.find(tag);
+  if (it != structs_.end()) {
+    return it->second;
+  }
+  auto* s = new Type(TypeKind::kStruct);
+  s->complete_ = false;
+  s->tag_ = tag;
+  TypeRef ref(s);
+  structs_.emplace(tag, ref);
+  return ref;
+}
+
+TypeRef TypeTable::DeclareUnion(const std::string& tag) {
+  auto it = unions_.find(tag);
+  if (it != unions_.end()) {
+    return it->second;
+  }
+  auto* u = new Type(TypeKind::kUnion);
+  u->complete_ = false;
+  u->tag_ = tag;
+  TypeRef ref(u);
+  unions_.emplace(tag, ref);
+  return ref;
+}
+
+void TypeTable::CompleteRecord(const TypeRef& rec, std::vector<Member> members) {
+  if (rec == nullptr || !rec->IsRecord()) {
+    throw DuelError(ErrorKind::kInternal, "CompleteRecord on a non-record type");
+  }
+  if (rec->complete()) {
+    throw DuelError(ErrorKind::kType,
+                    "record '" + rec->tag() + "' is already complete");
+  }
+  auto* t = const_cast<Type*>(rec.get());
+  bool is_union = rec->kind() == TypeKind::kUnion;
+  size_t end = 0;       // bytes used so far (struct layout cursor)
+  size_t align = 1;
+  // Current bit-field allocation unit (struct only).
+  bool in_unit = false;
+  size_t unit_off = 0;
+  size_t unit_size = 0;
+  unsigned bit_pos = 0;
+  for (Member& m : members) {
+    size_t msize = m.type->size();
+    size_t malign = m.type->align();
+    align = std::max(align, malign);
+    if (is_union) {
+      m.offset = 0;
+      m.bit_offset = m.is_bitfield ? 0 : m.bit_offset;
+      end = std::max(end, msize);
+      continue;
+    }
+    if (m.is_bitfield) {
+      if (!in_unit || msize != unit_size || bit_pos + m.bit_width > unit_size * 8) {
+        unit_off = AlignUp(end, malign);
+        unit_size = msize;
+        bit_pos = 0;
+        in_unit = true;
+        end = unit_off + unit_size;
+      }
+      m.offset = unit_off;
+      m.bit_offset = bit_pos;
+      bit_pos += m.bit_width;
+    } else {
+      in_unit = false;
+      m.offset = AlignUp(end, malign);
+      end = m.offset + msize;
+    }
+  }
+  t->members_ = std::move(members);
+  t->size_ = AlignUp(end, align);
+  t->align_ = align;
+  t->complete_ = true;
+}
+
+TypeRef TypeTable::DefineEnum(const std::string& tag, std::vector<Enumerator> enumerators) {
+  auto it = enums_.find(tag);
+  if (it != enums_.end()) {
+    return it->second;
+  }
+  auto* e = new Type(TypeKind::kEnum);
+  e->size_ = 4;
+  e->align_ = 4;
+  e->tag_ = tag;
+  e->enumerators_ = std::move(enumerators);
+  TypeRef ref(e);
+  enums_.emplace(tag, ref);
+  return ref;
+}
+
+void TypeTable::DefineTypedef(const std::string& name, const TypeRef& t) {
+  typedefs_[name] = t;
+}
+
+TypeRef TypeTable::LookupStruct(const std::string& tag) const {
+  auto it = structs_.find(tag);
+  return it == structs_.end() ? nullptr : it->second;
+}
+
+TypeRef TypeTable::LookupUnion(const std::string& tag) const {
+  auto it = unions_.find(tag);
+  return it == unions_.end() ? nullptr : it->second;
+}
+
+TypeRef TypeTable::LookupEnum(const std::string& tag) const {
+  auto it = enums_.find(tag);
+  return it == enums_.end() ? nullptr : it->second;
+}
+
+TypeRef TypeTable::LookupTypedef(const std::string& name) const {
+  auto it = typedefs_.find(name);
+  return it == typedefs_.end() ? nullptr : it->second;
+}
+
+}  // namespace duel::target

@@ -1,0 +1,128 @@
+#include "src/target/memory.h"
+
+#include "src/support/strings.h"
+
+namespace duel::target {
+
+namespace {
+
+constexpr Addr kHeapBase = 0x10000000;
+
+bool Overlaps(Addr a_base, size_t a_size, Addr b_base, size_t b_size) {
+  return a_base < b_base + b_size && b_base < a_base + a_size;
+}
+
+}  // namespace
+
+void Memory::AddSegment(const std::string& name, Addr base, size_t size, Perm perm) {
+  for (const Segment& s : segments_) {
+    if (Overlaps(base, size, s.base, s.size)) {
+      throw DuelError(ErrorKind::kMemory,
+                      StrPrintf("segment '%s' at 0x%llx overlaps segment '%s'",
+                                name.c_str(), static_cast<unsigned long long>(base),
+                                s.name.c_str()));
+    }
+  }
+  Segment seg;
+  seg.name = name;
+  seg.base = base;
+  seg.size = size;
+  seg.perm = perm;
+  seg.bytes.resize(size);
+  segments_.push_back(std::move(seg));
+}
+
+Addr Memory::Allocate(size_t size, size_t align) {
+  if (align == 0) {
+    align = 1;
+  }
+  if (heap_index_ == SIZE_MAX) {
+    heap_index_ = segments_.size();
+    Segment heap;
+    heap.name = "heap";
+    heap.base = kHeapBase;
+    heap.size = 0;
+    heap.perm = Perm::kReadWrite;
+    segments_.push_back(std::move(heap));
+  }
+  Segment& heap = segments_[heap_index_];
+  size_t off = (heap_used_ + align - 1) / align * align;
+  heap_used_ = off + size;
+  heap.size = heap_used_;
+  heap.bytes.resize(heap_used_);
+  return heap.base + off;
+}
+
+const Memory::Segment* Memory::Find(Addr addr, size_t size) const {
+  for (const Segment& s : segments_) {
+    if (addr >= s.base && size <= s.size && addr - s.base <= s.size - size) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+Memory::Segment* Memory::FindMutable(Addr addr, size_t size) {
+  return const_cast<Segment*>(Find(addr, size));
+}
+
+bool Memory::Valid(Addr addr, size_t size) const {
+  return Find(addr, size) != nullptr;
+}
+
+void Memory::Read(Addr addr, void* out, size_t size) const {
+  const Segment* s = Find(addr, size);
+  if (s == nullptr) {
+    throw MemoryFault(addr, size,
+                      StrPrintf("illegal memory reference: read of %zu bytes at 0x%llx",
+                                size, static_cast<unsigned long long>(addr)));
+  }
+  std::memcpy(out, s->bytes.data() + (addr - s->base), size);
+}
+
+bool Memory::TryRead(Addr addr, void* out, size_t size) const {
+  const Segment* s = Find(addr, size);
+  if (s == nullptr) {
+    return false;
+  }
+  std::memcpy(out, s->bytes.data() + (addr - s->base), size);
+  return true;
+}
+
+void Memory::Write(Addr addr, const void* data, size_t size) {
+  Segment* s = FindMutable(addr, size);
+  if (s == nullptr) {
+    throw MemoryFault(addr, size,
+                      StrPrintf("illegal memory reference: write of %zu bytes at 0x%llx",
+                                size, static_cast<unsigned long long>(addr)));
+  }
+  if (s->perm != Perm::kReadWrite) {
+    throw MemoryFault(addr, size,
+                      StrPrintf("write to read-only segment '%s' at 0x%llx",
+                                s->name.c_str(), static_cast<unsigned long long>(addr)));
+  }
+  std::memcpy(s->bytes.data() + (addr - s->base), data, size);
+}
+
+bool Memory::ReadCString(Addr addr, size_t max, std::string* out, bool* truncated) const {
+  out->clear();
+  *truncated = false;
+  if (!Valid(addr, 1)) {
+    return false;
+  }
+  for (size_t i = 0; i < max; ++i) {
+    char c;
+    if (!TryRead(addr + i, &c, 1)) {
+      *truncated = true;  // string runs off the end of mapped memory
+      return true;
+    }
+    if (c == '\0') {
+      return true;
+    }
+    out->push_back(c);
+  }
+  *truncated = true;
+  return true;
+}
+
+}  // namespace duel::target

@@ -1,0 +1,81 @@
+// Segmented byte-addressable memory for the simulated target.
+//
+// A Memory is a small set of non-overlapping segments (text/data/stack...)
+// plus a growable heap segment used by Allocate(). Accesses outside a
+// mapped segment — or writes to a read-only one — raise MemoryFault, which
+// the evaluator turns into the paper's "Illegal memory reference" report.
+
+#ifndef DUEL_TARGET_MEMORY_H_
+#define DUEL_TARGET_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/support/error.h"
+
+namespace duel::target {
+
+using Addr = uint64_t;
+
+enum class Perm {
+  kRead,
+  kReadWrite,
+};
+
+class Memory {
+ public:
+  // Maps `size` zero-filled bytes at [base, base+size). Throws DuelError if
+  // the range overlaps an existing segment.
+  void AddSegment(const std::string& name, Addr base, size_t size, Perm perm);
+
+  // Bump-allocates from the built-in heap segment (created on first use),
+  // returning an address aligned to `align`. Only bytes actually allocated
+  // are valid; the unallocated tail faults.
+  Addr Allocate(size_t size, size_t align);
+
+  bool Valid(Addr addr, size_t size) const;
+
+  void Read(Addr addr, void* out, size_t size) const;        // throws MemoryFault
+  bool TryRead(Addr addr, void* out, size_t size) const;
+  void Write(Addr addr, const void* data, size_t size);      // throws MemoryFault
+
+  template <typename T>
+  T ReadScalar(Addr addr) const {
+    T v;
+    Read(addr, &v, sizeof v);
+    return v;
+  }
+
+  template <typename T>
+  void WriteScalar(Addr addr, T v) {
+    Write(addr, &v, sizeof v);
+  }
+
+  // Reads a NUL-terminated string of at most `max` characters. Returns false
+  // if `addr` itself is unmapped; sets *truncated when `max` (or the end of
+  // mapped memory) is reached before the terminator.
+  bool ReadCString(Addr addr, size_t max, std::string* out, bool* truncated) const;
+
+ private:
+  struct Segment {
+    std::string name;
+    Addr base = 0;
+    size_t size = 0;
+    Perm perm = Perm::kReadWrite;
+    std::vector<uint8_t> bytes;
+  };
+
+  const Segment* Find(Addr addr, size_t size) const;
+  Segment* FindMutable(Addr addr, size_t size);
+
+  std::vector<Segment> segments_;
+  size_t heap_index_ = SIZE_MAX;  // index into segments_ once created
+  size_t heap_used_ = 0;          // bytes allocated from the heap so far
+};
+
+}  // namespace duel::target
+
+#endif  // DUEL_TARGET_MEMORY_H_

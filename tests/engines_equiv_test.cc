@@ -21,22 +21,63 @@ void BuildRichImage(target::TargetImage& image) {
 std::pair<QueryResult, QueryResult> RunBoth(const std::string& expr) {
   std::pair<QueryResult, QueryResult> out;
   {
-    DuelFixture fx;
+    SessionOptions opts;
+    opts.collect_stats = true;
+    DuelFixture fx(opts);
     BuildRichImage(fx.image());
     out.first = fx.session().Query(expr);
   }
   {
-    DuelFixture fx(CoroOptions());
+    SessionOptions opts = CoroOptions();
+    opts.collect_stats = true;
+    DuelFixture fx(opts);
     BuildRichImage(fx.image());
     out.second = fx.session().Query(expr);
   }
   return out;
 }
 
+// Beyond identical output, the two engines must do identical observable work:
+// the same counter deltas on the eval side and the same narrow-interface
+// traffic on the backend side (stats are collected by RunBoth). The one
+// exception is eval_steps — fuel is engine-specific accounting (the state
+// machine burns a step per Eval() re-entry, the coroutine engine per pull),
+// so traversal operators skew it by a small constant; we bound it loosely
+// here and pin it exactly on the generator corpus below.
+void ExpectSameCounters(const QueryResult& sm, const QueryResult& coro,
+                        const std::string& expr) {
+  ASSERT_EQ(sm.stats.has_value(), coro.stats.has_value()) << expr;
+  if (!sm.stats.has_value()) {
+    return;  // query failed before stats were assembled
+  }
+  const obs::QueryStats& a = *sm.stats;
+  const obs::QueryStats& b = *coro.stats;
+  EXPECT_GT(a.eval.eval_steps, 0u) << expr;
+  EXPECT_GT(b.eval.eval_steps, 0u) << expr;
+  EXPECT_LE(a.eval.eval_steps, 2 * b.eval.eval_steps) << expr;
+  EXPECT_LE(b.eval.eval_steps, 2 * a.eval.eval_steps) << expr;
+  EXPECT_EQ(a.eval.values_produced, b.eval.values_produced) << expr;
+  EXPECT_EQ(a.eval.applies, b.eval.applies) << expr;
+  EXPECT_EQ(a.eval.name_lookups, b.eval.name_lookups) << expr;
+  EXPECT_EQ(a.eval.symbolic_builds, b.eval.symbolic_builds) << expr;
+  EXPECT_EQ(a.backend.read_calls, b.backend.read_calls) << expr;
+  EXPECT_EQ(a.backend.bytes_read, b.backend.bytes_read) << expr;
+  EXPECT_EQ(a.backend.write_calls, b.backend.write_calls) << expr;
+  EXPECT_EQ(a.backend.bytes_written, b.backend.bytes_written) << expr;
+  EXPECT_EQ(a.backend.symbol_lookups, b.backend.symbol_lookups) << expr;
+  EXPECT_EQ(a.backend.type_lookups, b.backend.type_lookups) << expr;
+  EXPECT_EQ(a.backend.target_calls, b.backend.target_calls) << expr;
+  for (size_t i = 0; i < obs::kNumNarrowCalls; ++i) {
+    EXPECT_EQ(a.call_counts[i], b.call_counts[i])
+        << expr << " narrow call " << obs::NarrowCallName(static_cast<obs::NarrowCall>(i));
+  }
+}
+
 void ExpectEnginesAgree(const std::string& expr) {
   auto [sm, coro] = RunBoth(expr);
   EXPECT_EQ(sm.ok, coro.ok) << expr << "\nsm: " << sm.error << "\ncoro: " << coro.error;
   EXPECT_EQ(sm.lines, coro.lines) << expr;
+  ExpectSameCounters(sm, coro, expr);
 }
 
 class CorpusTest : public ::testing::TestWithParam<const char*> {};
@@ -100,6 +141,33 @@ const char* kCorpus[] = {
 };
 
 INSTANTIATE_TEST_SUITE_P(Corpus, CorpusTest, ::testing::ValuesIn(kCorpus));
+
+// On pure generator/filter/reduction pipelines the fuel accounting of the
+// two engines coincides exactly (one step per value pulled through each
+// operator), so eval_steps must match to the step.
+class StepParityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StepParityTest, EvalStepsIdentical) {
+  auto [sm, coro] = RunBoth(GetParam());
+  ASSERT_TRUE(sm.ok && coro.ok) << GetParam();
+  ASSERT_TRUE(sm.stats.has_value() && coro.stats.has_value());
+  EXPECT_EQ(sm.stats->eval.eval_steps, coro.stats->eval.eval_steps) << GetParam();
+}
+
+const char* kStepParityCorpus[] = {
+    "1+2*3",
+    "(1..5)*(1..5)",
+    "x[..10] >? 0",
+    "x[..10] >? 0 <? 5",
+    "#/x[..10]",
+    "+/x[..10]",
+    "x[..10] == 3",
+    "-x[..5]",
+    "(long)x[0] + 1",
+    "x[..3] << 2",
+};
+
+INSTANTIATE_TEST_SUITE_P(Generators, StepParityTest, ::testing::ValuesIn(kStepParityCorpus));
 
 // --- seeded random expression generation -------------------------------------
 
