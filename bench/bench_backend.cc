@@ -6,6 +6,10 @@
 // Expected shape: identical results, with a per-target-access constant
 // overhead growing from (a) to (d).
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
 #include "bench/bench_util.h"
 #include "src/rsp/remote_backend.h"
 #include "src/rsp/server.h"
@@ -98,7 +102,57 @@ void BM_BackendSymbolLookups(benchmark::State& state) {
 }
 BENCHMARK(BM_BackendSymbolLookups)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+// Machine-readable remote-path metrics: the E4-style cached-vs-uncached
+// ablation over each remote transport. For every mode the 10k headline scan
+// runs once with the data cache on and once off; the JSON records the wire
+// packets/bytes it cost plus the full obs::QueryStats (backend counters,
+// cache hit/miss/bytes-saved). DUEL_BENCH_REMOTE_METRICS overrides the
+// output path; an empty value disables it.
+void WriteRemoteMetricsJson() {
+  const char* env = std::getenv("DUEL_BENCH_REMOTE_METRICS");
+  std::string path = env != nullptr ? env : "bench_remote_metrics.json";
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write remote metrics to " << path << "\n";
+    return;
+  }
+  out << "{\"bench\":\"remote\",\"query\":\"x[..10000] >? 0\",\"runs\":[";
+  bool first = true;
+  for (int mode = 1; mode <= 3; ++mode) {
+    for (bool cache_on : {false, true}) {
+      Rig rig(mode);
+      rig.session->options().collect_stats = true;
+      rig.session->options().eval.data_cache = cache_on;
+      rig.session->Drive("x[..10000] >? 0");
+      if (!rig.session->last_stats().has_value()) {
+        continue;
+      }
+      out << (first ? "\n" : ",\n")
+          << "{\"mode\":\"" << ModeName(mode) << "\",\"data_cache\":"
+          << (cache_on ? "true" : "false")
+          << ",\"round_trips\":" << rig.transport->round_trips()
+          << ",\"wire_bytes\":" << rig.transport->bytes_on_wire()
+          << ",\"stats\":" << rig.session->last_stats()->ToJson() << "}";
+      first = false;
+    }
+  }
+  out << "\n]}\n";
+  std::cerr << "wrote remote metrics to " << path << "\n";
+}
+
 }  // namespace
 }  // namespace duel::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  duel::bench::WriteRemoteMetricsJson();
+  return 0;
+}

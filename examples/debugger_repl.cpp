@@ -61,6 +61,7 @@ void PrintHelp() {
       "  mi LINE         raw machine-interface command (-duel-evaluate \"...\")\n"
       "  engine sm|coro  choose the evaluation engine\n"
       "  symbolic on|off toggle symbolic values\n"
+      "  cache on|off    toggle the read-combining target-memory cache (default on)\n"
       "  remote on|off   route queries through the RSP wire protocol\n"
       "  stats [on|off]  per-query stats (phases, counters, narrow-call latency);\n"
       "                  bare 'stats' re-prints the last collected stats\n"
@@ -289,6 +290,20 @@ int main(int argc, char** argv) {
       local_session.options().eval.sym_mode = mode;
       remote_session.options().eval.sym_mode = mode;
       std::cout << "symbolic: " << rest << "\n";
+    } else if (cmd == "cache" || (cmd == "set" && StartsWith(rest, "cache"))) {
+      std::string arg = cmd == "cache" ? rest : rest.substr(5);
+      while (!arg.empty() && arg.front() == ' ') {
+        arg.erase(arg.begin());
+      }
+      if (arg != "on" && arg != "off") {
+        std::cout << "usage: cache on|off\n";
+        continue;
+      }
+      bool on = arg == "on";
+      local_session.options().eval.data_cache = on;
+      remote_session.options().eval.data_cache = on;
+      baseline_ctx.opts().data_cache = on;
+      std::cout << "cache: " << arg << "\n";
     } else if (cmd == "remote") {
       use_remote = rest == "on";
       std::cout << "remote: " << (use_remote ? "on" : "off") << "\n";

@@ -175,6 +175,7 @@ std::optional<Value> CEvaluator::Eval(const Node& n) {
 
 std::string RunBaselineQuery(dbg::DebuggerBackend& backend, EvalContext& ctx,
                              const std::string& source) {
+  ctx.BeginQuery();
   Parser parser(source, [&backend](const std::string& name) {
     return backend.GetTargetTypedef(name) != nullptr;
   });

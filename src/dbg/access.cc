@@ -1,0 +1,242 @@
+#include "src/dbg/access.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace duel::dbg {
+
+using target::Addr;
+
+// --- DebuggerBackend bulk-read defaults -------------------------------------
+
+size_t DebuggerBackend::ReadTargetPrefix(Addr addr, void* out, size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  size_t n = size;
+  if (!ValidTargetBytes(addr, n)) {
+    // Bisect for the longest valid prefix: Valid(addr, lo) holds, hi fails.
+    size_t lo = 0, hi = n;
+    while (hi - lo > 1) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (ValidTargetBytes(addr, mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    n = lo;
+  }
+  if (n == 0) {
+    return 0;
+  }
+  try {
+    GetTargetBytes(addr, out, n);
+  } catch (const MemoryFault&) {
+    return 0;  // raced with the validity probe; treat as unreadable
+  }
+  return n;
+}
+
+std::vector<std::vector<uint8_t>> DebuggerBackend::ReadTargetRanges(
+    std::span<const ReadRange> ranges) {
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(ranges.size());
+  for (const ReadRange& r : ranges) {
+    std::vector<uint8_t> bytes(r.size);
+    bytes.resize(ReadTargetPrefix(r.addr, bytes.data(), r.size));
+    out.push_back(std::move(bytes));
+  }
+  return out;
+}
+
+// --- MemoryAccess ------------------------------------------------------------
+
+void MemoryAccess::BeginQuery() {
+  DropBlocks();
+  backend_->BeginQueryEpoch();
+}
+
+void MemoryAccess::Invalidate() {
+  counters_.invalidations++;
+  DropBlocks();
+}
+
+void MemoryAccess::DropBlocks() {
+  blocks_.clear();
+  next_seq_block_ = UINT64_MAX;
+  seq_run_ = 0;
+}
+
+void MemoryAccess::EnsureBlocks(uint64_t first, uint64_t last) {
+  const size_t bs = config_.block_size;
+  std::vector<uint64_t> missing;
+  for (uint64_t b = first; b <= last; ++b) {
+    if (blocks_.find(b) == blocks_.end()) {
+      missing.push_back(b);
+    }
+  }
+  if (missing.empty()) {
+    return;
+  }
+  counters_.misses++;
+  // Sequential scans double the fetch window each miss (capped), so a long
+  // forward read costs O(log + blocks/max_readahead) round trips.
+  if (first == next_seq_block_) {
+    seq_run_ = std::min<unsigned>(seq_run_ + 1, 31);
+  } else {
+    seq_run_ = 0;
+  }
+  size_t ahead = std::min<size_t>(config_.max_readahead,
+                                  seq_run_ == 0 ? 0 : (size_t{1} << std::min(seq_run_, 6u)));
+  for (uint64_t b = last + 1; ahead > 0 && b > last; ++b, --ahead) {
+    if (blocks_.find(b) == blocks_.end()) {
+      missing.push_back(b);
+    }
+  }
+  if (blocks_.size() + missing.size() > config_.max_blocks) {
+    Invalidate();  // simple overflow policy: start over
+  }
+  std::vector<ReadRange> ranges;
+  ranges.reserve(missing.size());
+  for (uint64_t b : missing) {
+    ranges.push_back(ReadRange{b * bs, bs});
+  }
+  std::vector<std::vector<uint8_t>> results = backend_->ReadTargetRanges(ranges);
+  for (size_t i = 0; i < missing.size(); ++i) {
+    Block blk;
+    blk.valid_len = i < results.size() ? results[i].size() : 0;
+    blk.bytes = i < results.size() ? std::move(results[i]) : std::vector<uint8_t>();
+    blk.bytes.resize(bs);
+    counters_.bytes_fetched += blk.valid_len;
+    counters_.block_fetches++;
+    blocks_[missing[i]] = std::move(blk);
+  }
+  // The streak continues at the first block past everything just fetched
+  // (including readahead), so a long scan keeps doubling its window.
+  next_seq_block_ = std::max(last, missing.back()) + 1;
+}
+
+bool MemoryAccess::TryServe(Addr addr, void* out, size_t size) {
+  const size_t bs = config_.block_size;
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  Addr pos = addr;
+  size_t remaining = size;
+  while (remaining > 0) {
+    auto it = blocks_.find(pos / bs);
+    if (it == blocks_.end()) {
+      return false;
+    }
+    size_t off = static_cast<size_t>(pos % bs);
+    size_t chunk = std::min(remaining, bs - off);
+    if (off + chunk > it->second.valid_len) {
+      return false;  // touches bytes the block fetch found unreadable
+    }
+    if (dst != nullptr) {
+      std::memcpy(dst, it->second.bytes.data() + off, chunk);
+      dst += chunk;
+    }
+    pos += chunk;
+    remaining -= chunk;
+  }
+  return true;
+}
+
+void MemoryAccess::GetBytes(Addr addr, void* out, size_t size) {
+  if (!enabled_ || size == 0) {
+    backend_->GetTargetBytes(addr, out, size);
+    return;
+  }
+  const size_t bs = config_.block_size;
+  EnsureBlocks(addr / bs, (addr + size - 1) / bs);
+  if (TryServe(addr, out, size)) {
+    counters_.hits++;
+    counters_.bytes_from_cache += size;
+    return;
+  }
+  // Outside the known-valid bytes: forward the exact request so the backend
+  // raises (or doesn't) precisely the fault uncached evaluation would see.
+  counters_.passthroughs++;
+  backend_->GetTargetBytes(addr, out, size);
+}
+
+size_t MemoryAccess::GetBytesPrefix(Addr addr, void* out, size_t size) {
+  if (!enabled_) {
+    return backend_->ReadTargetPrefix(addr, out, size);
+  }
+  if (size == 0) {
+    return 0;
+  }
+  const size_t bs = config_.block_size;
+  EnsureBlocks(addr / bs, (addr + size - 1) / bs);
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  Addr pos = addr;
+  size_t total = 0;
+  while (total < size) {
+    const Block& blk = blocks_[pos / bs];
+    size_t off = static_cast<size_t>(pos % bs);
+    if (off >= blk.valid_len) {
+      break;
+    }
+    size_t chunk = std::min(size - total, blk.valid_len - off);
+    std::memcpy(dst + total, blk.bytes.data() + off, chunk);
+    total += chunk;
+    pos += chunk;
+    if (off + chunk < bs) {
+      break;  // stopped inside the block: the next byte is unreadable
+    }
+  }
+  counters_.hits++;
+  counters_.bytes_from_cache += total;
+  return total;
+}
+
+void MemoryAccess::PutBytes(Addr addr, const void* in, size_t size) {
+  backend_->PutTargetBytes(addr, in, size);
+  if (!enabled_ || size == 0 || blocks_.empty()) {
+    return;
+  }
+  const size_t bs = config_.block_size;
+  const uint8_t* src = static_cast<const uint8_t*>(in);
+  for (uint64_t b = addr / bs; b <= (addr + size - 1) / bs; ++b) {
+    auto it = blocks_.find(b);
+    if (it == blocks_.end()) {
+      continue;
+    }
+    Addr block_base = b * bs;
+    Addr lo = std::max(addr, block_base);
+    Addr hi = std::min(addr + size, block_base + bs);
+    size_t off = static_cast<size_t>(lo - block_base);
+    if (off + (hi - lo) <= it->second.valid_len) {
+      std::memcpy(it->second.bytes.data() + off, src + (lo - addr),
+                  static_cast<size_t>(hi - lo));
+    } else {
+      // The write landed on bytes the fetch saw as unreadable (the memory
+      // map moved under us); the cached prefix is no longer trustworthy.
+      blocks_.erase(it);
+    }
+  }
+}
+
+bool MemoryAccess::ValidBytes(Addr addr, size_t size) {
+  if (enabled_ && size > 0 && TryServe(addr, nullptr, size)) {
+    counters_.hits++;
+    return true;
+  }
+  return backend_->ValidTargetBytes(addr, size);
+}
+
+target::RawDatum MemoryAccess::CallFunc(const std::string& name,
+                                        std::span<const target::RawDatum> args) {
+  target::RawDatum ret = backend_->CallTargetFunc(name, args);
+  Invalidate();  // the call may have written anywhere in the target
+  return ret;
+}
+
+Addr MemoryAccess::Alloc(size_t size, size_t align) {
+  Addr addr = backend_->AllocTargetSpace(size, align);
+  Invalidate();  // the memory map changed: previously-invalid bytes may be valid
+  return addr;
+}
+
+}  // namespace duel::dbg

@@ -34,6 +34,12 @@ using target::Addr;
 using target::RawDatum;
 using target::TypeRef;
 
+// One contiguous span of target memory, for vectored (multi-range) reads.
+struct ReadRange {
+  Addr addr = 0;
+  size_t size = 0;
+};
+
 struct VariableInfo {
   std::string name;
   TypeRef type;
@@ -68,6 +74,26 @@ class DebuggerBackend {
   virtual void PutTargetBytes(Addr addr, const void* in, size_t size) = 0;
   virtual bool ValidTargetBytes(Addr addr, size_t size) = 0;
   virtual Addr AllocTargetSpace(size_t size, size_t align) = 0;
+
+  // Bulk extensions used by dbg::MemoryAccess (the read-combining cache).
+  // Both are expressed in terms of the three primitives above, so every
+  // backend keeps working unmodified; rsp::RemoteBackend overrides
+  // ReadTargetRanges with a single vectored wire request (qDuelReadV).
+  //
+  // ReadTargetPrefix copies the longest contiguously-valid prefix of
+  // [addr, addr+size) into `out` and returns its length (0 when addr itself
+  // is unreadable). It never throws.
+  virtual size_t ReadTargetPrefix(Addr addr, void* out, size_t size);
+  // ReadTargetRanges reads many ranges at once with prefix semantics:
+  // result[i] holds the valid-prefix bytes of ranges[i] (possibly empty).
+  virtual std::vector<std::vector<uint8_t>> ReadTargetRanges(
+      std::span<const ReadRange> ranges);
+
+  // Called by the access layer at the start of every query. Backends that
+  // keep client-side caches (rsp::RemoteBackend caches symbol lookups, type
+  // records and frame info) drop them here, so a query never observes state
+  // from before its own epoch.
+  virtual void BeginQueryEpoch() {}
 
   // --- target execution ---
   virtual RawDatum CallTargetFunc(const std::string& name, std::span<const RawDatum> args) = 0;

@@ -75,9 +75,9 @@ void ExecDecl(EvalContext& ctx, const Node& n) {
       throw DuelError(ErrorKind::kType, "cannot declare a variable of incomplete type",
                       n.range);
     }
-    Addr addr = ctx.backend().AllocTargetSpace(type->size(), type->align());
+    Addr addr = ctx.access().Alloc(type->size(), type->align());
     std::vector<uint8_t> zeros(type->size(), 0);
-    ctx.backend().PutTargetBytes(addr, zeros.data(), zeros.size());
+    ctx.access().PutBytes(addr, zeros.data(), zeros.size());
     ctx.aliases().Set(item.name, Value::LV(type, addr, ctx.MakeSym(item.name)));
   }
 }
@@ -170,7 +170,7 @@ Value CallTarget(EvalContext& ctx, const std::string& name, const std::vector<Va
       arg_syms.push_back(a.sym().Text());
     }
   }
-  target::RawDatum ret = ctx.backend().CallTargetFunc(name, data);
+  target::RawDatum ret = ctx.access().CallFunc(name, data);
   Sym sym = ctx.sym_on() ? ctx.MakeSym(name + "(" + Join(arg_syms, ", ") + ")", kPrecPostfix)
                          : Sym::None();
   if (ret.type == nullptr || ret.type->kind() == TypeKind::kVoid) {
@@ -237,7 +237,7 @@ bool ExpandReadable(EvalContext& ctx, const Value& v) {
   }
   const TypeRef& pointee = v.type()->target();
   size_t size = pointee->size() == 0 ? 1 : pointee->size();
-  return ctx.backend().ValidTargetBytes(ctx.ToPtr(v), size);
+  return ctx.access().ValidBytes(ctx.ToPtr(v), size);
 }
 
 WithScope ExpandScope(const Value& x) {

@@ -40,7 +40,7 @@ Value EvalContext::Rvalue(const Value& v) {
     uint64_t unit = 0;
     size_t n = t->size();
     try {
-      backend_->GetTargetBytes(v.addr(), &unit, n);
+      access_.GetBytes(v.addr(), &unit, n);
     } catch (MemoryFault& mf) {
       if (mf.symbolic_context().empty() && !v.sym().empty()) {
         mf.set_symbolic_context(v.sym().Text());
@@ -61,7 +61,7 @@ Value EvalContext::Rvalue(const Value& v) {
   }
   std::vector<uint8_t> buf(t->size());
   try {
-    backend_->GetTargetBytes(v.addr(), buf.data(), buf.size());
+    access_.GetBytes(v.addr(), buf.data(), buf.size());
   } catch (MemoryFault& mf) {
     // Attach the offending operand's symbolic value, for the paper-style
     // "Illegal memory reference in x of x->y: x = lvalue 0x..." report.
@@ -167,12 +167,12 @@ void EvalContext::Store(const Value& lv, const Value& rv) {
   if (lv.is_bitfield()) {
     uint64_t unit = 0;
     size_t n = t->size();
-    backend_->GetTargetBytes(lv.addr(), &unit, n);
+    access_.GetBytes(lv.addr(), &unit, n);
     uint64_t mask = (lv.bit_width() >= 64 ? ~0ull : (1ull << lv.bit_width()) - 1)
                     << lv.bit_offset();
     uint64_t nv = (static_cast<uint64_t>(ToI64(rv)) << lv.bit_offset()) & mask;
     unit = (unit & ~mask) | nv;
-    backend_->PutTargetBytes(lv.addr(), &unit, n);
+    access_.PutBytes(lv.addr(), &unit, n);
     return;
   }
   // Scalar conversions; records require matching types.
@@ -182,7 +182,7 @@ void EvalContext::Store(const Value& lv, const Value& rv) {
       throw DuelError(ErrorKind::kType, "cannot assign " + v.type()->ToString() + " to " +
                                             t->ToString());
     }
-    backend_->PutTargetBytes(lv.addr(), v.bytes().data(), v.bytes().size());
+    access_.PutBytes(lv.addr(), v.bytes().data(), v.bytes().size());
     return;
   }
   uint8_t buf[8];
@@ -201,7 +201,7 @@ void EvalContext::Store(const Value& lv, const Value& rv) {
   } else {
     throw DuelError(ErrorKind::kType, "cannot assign to " + t->ToString());
   }
-  backend_->PutTargetBytes(lv.addr(), buf, n);
+  access_.PutBytes(lv.addr(), buf, n);
 }
 
 std::optional<Value> EvalContext::LookupInScope(const WithScope& scope, const std::string& name) {
@@ -380,10 +380,10 @@ Addr EvalContext::InternString(const void* node_key, const std::string& body) {
   if (it != interned_strings_.end()) {
     return it->second;
   }
-  Addr addr = backend_->AllocTargetSpace(body.size() + 1, 1);
-  backend_->PutTargetBytes(addr, body.data(), body.size());
+  Addr addr = access_.Alloc(body.size() + 1, 1);
+  access_.PutBytes(addr, body.data(), body.size());
   uint8_t nul = 0;
-  backend_->PutTargetBytes(addr + body.size(), &nul, 1);
+  access_.PutBytes(addr + body.size(), &nul, 1);
   interned_strings_[node_key] = addr;
   return addr;
 }

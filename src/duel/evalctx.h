@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "src/dbg/access.h"
 #include "src/dbg/backend.h"
 #include "src/duel/ast.h"
 #include "src/duel/scope.h"
@@ -45,6 +46,11 @@ struct EvalOptions {
   // variables at "compile time" (see prebind.h).
   bool prebind = false;
 
+  // Route target-memory traffic through the read-combining block cache
+  // (dbg::MemoryAccess). Off = every read/write hits the backend directly,
+  // byte-for-byte the original behaviour; the E4-style ablation flips this.
+  bool data_cache = true;
+
   // Cap on chars read when displaying char* values.
   size_t max_string_display = 80;
 };
@@ -52,9 +58,24 @@ struct EvalOptions {
 class EvalContext {
  public:
   EvalContext(dbg::DebuggerBackend& backend, EvalOptions opts)
-      : backend_(&backend), opts_(opts) {}
+      : backend_(&backend), access_(backend), opts_(opts) {
+    access_.set_enabled(opts_.data_cache);
+  }
 
   dbg::DebuggerBackend& backend() { return *backend_; }
+
+  // The cached data path. All target-byte traffic (loads, stores, validity
+  // probes, allocs, calls) goes through here; symbol/type/frame lookups keep
+  // using backend() directly.
+  dbg::MemoryAccess& access() { return access_; }
+
+  // Starts a fresh per-query epoch: re-syncs the cache toggle with opts(),
+  // drops all cached blocks, and lets the backend reset its own client-side
+  // caches. Call once at the top of every top-level evaluation.
+  void BeginQuery() {
+    access_.set_enabled(opts_.data_cache);
+    access_.BeginQuery();
+  }
   const EvalOptions& opts() const { return opts_; }
   EvalOptions& opts() { return opts_; }
   AliasTable& aliases() { return aliases_; }
@@ -136,6 +157,7 @@ class EvalContext {
  private:
   std::map<const void*, Addr> interned_strings_;
   dbg::DebuggerBackend* backend_;
+  dbg::MemoryAccess access_;
   EvalOptions opts_;
   AliasTable aliases_;
   ScopeStack scopes_;

@@ -1,5 +1,7 @@
 #include "src/duel/output.h"
 
+#include <vector>
+
 #include "src/support/strings.h"
 
 namespace duel {
@@ -18,31 +20,27 @@ std::string FormatCharPointer(EvalContext& ctx, Addr p) {
     return "0x0";
   }
   std::string hexp = StrPrintf("0x%llx", static_cast<unsigned long long>(p));
-  std::string s;
+  // One chunked valid-prefix read instead of a ValidTargetBytes+GetTargetBytes
+  // pair per character. cap+1 bytes so a string of exactly cap chars can still
+  // prove its terminating NUL.
   size_t cap = ctx.opts().max_string_display;
+  std::vector<char> buf(cap + 1);
+  size_t n = ctx.access().GetBytesPrefix(p, buf.data(), cap + 1);
+  if (n == 0) {
+    return hexp;  // unreadable: show the raw pointer
+  }
   std::string out;
   out.reserve(cap + 16);
-  bool ok = true;
-  bool truncated = false;
-  for (size_t i = 0; i <= cap; ++i) {
-    char c;
-    if (!ctx.backend().ValidTargetBytes(p + i, 1)) {
-      ok = i > 0;
-      truncated = ok;
-      break;
-    }
-    ctx.backend().GetTargetBytes(p + i, &c, 1);
-    if (c == '\0') {
+  bool truncated = true;  // no NUL within the readable window
+  for (size_t i = 0; i < n && i <= cap; ++i) {
+    if (buf[i] == '\0') {
+      truncated = false;
       break;
     }
     if (i == cap) {
-      truncated = true;
       break;
     }
-    out += EscapeChar(c);
-  }
-  if (!ok) {
-    return hexp;  // unreadable: show the raw pointer
+    out += EscapeChar(buf[i]);
   }
   return "\"" + out + (truncated ? "\"..." : "\"");
 }
@@ -75,25 +73,18 @@ std::string FormatArray(EvalContext& ctx, const Value& v, int depth) {
   const TypeRef& t = v.type();
   const TypeRef& elem = t->target();
   size_t n = t->array_count();
-  // char arrays display as strings.
+  // char arrays display as strings (one chunked valid-prefix read).
   if (elem->kind() == TypeKind::kChar && v.is_lvalue()) {
-    std::string s;
-    bool trunc = false;
     size_t cap = std::min(n, ctx.opts().max_string_display);
+    std::vector<char> buf(cap);
+    size_t m = ctx.access().GetBytesPrefix(v.addr(), buf.data(), cap);
     std::string out;
-    for (size_t i = 0; i < cap; ++i) {
-      char c;
-      if (!ctx.backend().ValidTargetBytes(v.addr() + i, 1)) {
-        break;
-      }
-      ctx.backend().GetTargetBytes(v.addr() + i, &c, 1);
-      if (c == '\0') {
+    for (size_t i = 0; i < m; ++i) {
+      if (buf[i] == '\0') {
         return "\"" + out + "\"";
       }
-      out += EscapeChar(c);
+      out += EscapeChar(buf[i]);
     }
-    (void)s;
-    (void)trunc;
     return "\"" + out + "\"...";
   }
   std::vector<std::string> elems;

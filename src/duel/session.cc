@@ -72,11 +72,14 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
   instr.set_tracer(&tracer_);
   instr.set_enabled(collect || tracer_.enabled());
   ctx_.set_profiler(nullptr);
+  // Fresh data-cache epoch: the target may have changed since the last query.
+  ctx_.BeginQuery();
 
   obs::QueryStats stats;
   std::array<uint64_t, obs::kNumNarrowCalls> calls_before{};
   EvalCounters eval_before;
   BackendCounters backend_before;
+  CacheCounters cache_before;
   if (collect) {
     instr.ResetHistograms();
     for (size_t i = 0; i < obs::kNumNarrowCalls; ++i) {
@@ -84,6 +87,7 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
     }
     eval_before = ctx_.counters();
     backend_before = backend_->counters();
+    cache_before = ctx_.access().counters();
     stats.query = expr;
   }
 
@@ -152,6 +156,7 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
     stats.values = count;
     stats.eval = obs::CountersDelta(eval_before, ctx_.counters());
     stats.backend = obs::CountersDelta(backend_before, backend_->counters());
+    stats.cache = obs::CountersDelta(cache_before, ctx_.access().counters());
     for (size_t i = 0; i < obs::kNumNarrowCalls; ++i) {
       stats.call_counts[i] = instr.calls(static_cast<obs::NarrowCall>(i)) - calls_before[i];
       stats.call_ns[i] = instr.latency_ns(static_cast<obs::NarrowCall>(i));

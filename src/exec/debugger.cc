@@ -120,6 +120,7 @@ StopInfo Debugger::ExecuteCurrent() {
     return info;
   }
   try {
+    exec_ctx_.BeginQuery();  // each statement is its own data-cache epoch
     baseline::CEvaluator eval(exec_ctx_);
     eval.Eval(*stmt);
   } catch (const DuelError& e) {

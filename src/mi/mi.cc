@@ -164,6 +164,17 @@ std::string MiSession::HandleCommand(const std::string& token, const std::string
     }
     return error("expected on|lazy|off");
   }
+  if (command == "-duel-set-cache") {
+    if (rest == "on") {
+      session_.options().eval.data_cache = true;
+      return done();
+    }
+    if (rest == "off") {
+      session_.options().eval.data_cache = false;
+      return done();
+    }
+    return error("expected on|off");
+  }
   if (command == "-duel-clear-aliases") {
     session_.ClearAliases();
     return done();
@@ -226,7 +237,7 @@ std::string MiSession::HandleCommand(const std::string& token, const std::string
   if (command == "-list-features") {
     return done(
         ",features=[\"duel-evaluate\",\"duel-set-engine\",\"duel-set-symbolic\","
-        "\"duel-clear-aliases\",\"duel-stats\",\"duel-trace\"]");
+        "\"duel-set-cache\",\"duel-clear-aliases\",\"duel-stats\",\"duel-trace\"]");
   }
   return error("undefined MI command: " + command);
 }

@@ -1,5 +1,6 @@
 #include "src/rsp/remote_backend.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/support/strings.h"
@@ -70,6 +71,98 @@ void RemoteBackend::PutTargetBytes(Addr addr, const void* in, size_t size) {
   }
 }
 
+std::vector<std::vector<uint8_t>> RemoteBackend::ReadTargetRanges(
+    std::span<const dbg::ReadRange> ranges) {
+  if (ranges.empty()) {
+    return {};
+  }
+  if (!vectored_supported_) {
+    return DebuggerBackend::ReadTargetRanges(ranges);
+  }
+  // Stay under the server's range-count cap; a block-cache fill rarely needs
+  // more than one packet anyway.
+  constexpr size_t kMaxRangesPerPacket = 256;
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(ranges.size());
+  for (size_t base = 0; base < ranges.size(); base += kMaxRangesPerPacket) {
+    std::span<const dbg::ReadRange> batch =
+        ranges.subspan(base, std::min(kMaxRangesPerPacket, ranges.size() - base));
+    obs::CallTimer timer(instr_, obs::NarrowCall::kReadVector);
+    counters_.vectored_reads++;
+    std::string req = "qDuelReadV:";
+    uint64_t requested = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (i != 0) {
+        req += ";";
+      }
+      req += HexU64(batch[i].addr) + "," + HexU64(batch[i].size);
+      requested += batch[i].size;
+    }
+    if (instr_.enabled()) {
+      instr_.RecordReadBytes(requested);
+    }
+    std::string r = Request(req);
+    bool ok = StartsWith(r, "V");
+    std::vector<std::vector<uint8_t>> decoded;
+    if (ok) {
+      std::vector<std::string_view> parts = Split(std::string_view(r).substr(1), ';');
+      ok = parts.size() == batch.size();
+      if (ok) {
+        decoded.reserve(parts.size());
+        for (size_t i = 0; i < parts.size(); ++i) {
+          std::vector<uint8_t> bytes;
+          if (!HexDecode(parts[i], &bytes) || bytes.size() > batch[i].size) {
+            ok = false;  // short replies are fine; over-long or non-hex is not
+            break;
+          }
+          decoded.push_back(std::move(bytes));
+        }
+      }
+    }
+    if (!ok) {
+      // The server doesn't speak qDuelReadV (empty reply) or answered
+      // malformed: latch the fallback for this connection and finish the
+      // request with per-range prefix reads.
+      vectored_supported_ = false;
+      std::vector<std::vector<uint8_t>> rest =
+          DebuggerBackend::ReadTargetRanges(ranges.subspan(base));
+      for (std::vector<uint8_t>& v : rest) {
+        out.push_back(std::move(v));
+      }
+      return out;
+    }
+    for (std::vector<uint8_t>& v : decoded) {
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+size_t RemoteBackend::ReadTargetPrefix(Addr addr, void* out, size_t size) {
+  if (!vectored_supported_ || size == 0) {
+    // Base class bisects with qValid probes, then one m-read.
+    return DebuggerBackend::ReadTargetPrefix(addr, out, size);
+  }
+  dbg::ReadRange range{addr, size};
+  std::vector<std::vector<uint8_t>> r =
+      ReadTargetRanges(std::span<const dbg::ReadRange>(&range, 1));
+  if (r.size() != 1) {
+    return DebuggerBackend::ReadTargetPrefix(addr, out, size);
+  }
+  std::memcpy(out, r[0].data(), r[0].size());
+  return r[0].size();
+}
+
+void RemoteBackend::BeginQueryEpoch() {
+  var_cache_.clear();
+  func_cache_.clear();
+  enum_cache_.clear();
+  type_cache_.clear();
+  num_frames_cache_.reset();
+  frame_fn_cache_.clear();
+  frame_locals_cache_.clear();
+}
+
 bool RemoteBackend::ValidTargetBytes(Addr addr, size_t size) {
   obs::CallTimer timer(instr_, obs::NarrowCall::kValidBytes);
   return Request("qValid:" + HexU64(addr) + "," + HexU64(size)) == "OK";
@@ -120,10 +213,14 @@ RawDatum RemoteBackend::CallTargetFunc(const std::string& name,
 }
 
 std::optional<dbg::VariableInfo> RemoteBackend::GetTargetVariable(const std::string& name) {
+  if (auto it = var_cache_.find(name); it != var_cache_.end()) {
+    return it->second;
+  }
   obs::CallTimer timer(instr_, obs::NarrowCall::kSymbolLookup);
   counters_.symbol_lookups++;
   std::string r = Request("qVar:" + HexName(name));
   if (StartsWith(r, "E")) {
+    var_cache_[name] = std::nullopt;
     return std::nullopt;
   }
   size_t semi = r.find(';');
@@ -136,14 +233,19 @@ std::optional<dbg::VariableInfo> RemoteBackend::GetTargetVariable(const std::str
   info.name = name;
   info.addr = addr;
   info.type = target::ParseSerializedType(r.substr(semi + 1), types_);
+  var_cache_[name] = info;
   return info;
 }
 
 std::optional<dbg::FunctionInfo> RemoteBackend::GetTargetFunction(const std::string& name) {
+  if (auto it = func_cache_.find(name); it != func_cache_.end()) {
+    return it->second;
+  }
   obs::CallTimer timer(instr_, obs::NarrowCall::kSymbolLookup);
   counters_.symbol_lookups++;
   std::string r = Request("qFunc:" + HexName(name));
   if (StartsWith(r, "E")) {
+    func_cache_[name] = std::nullopt;
     return std::nullopt;
   }
   size_t semi = r.find(';');
@@ -156,17 +258,24 @@ std::optional<dbg::FunctionInfo> RemoteBackend::GetTargetFunction(const std::str
   info.name = name;
   info.addr = addr;
   info.type = target::ParseSerializedType(r.substr(semi + 1), types_);
+  func_cache_[name] = info;
   return info;
 }
 
 TypeRef RemoteBackend::QueryType(const std::string& command, const std::string& name) {
+  std::string key = command + ":" + name;
+  if (auto it = type_cache_.find(key); it != type_cache_.end()) {
+    return it->second;
+  }
   obs::CallTimer timer(instr_, obs::NarrowCall::kTypeLookup);
   counters_.type_lookups++;
   std::string r = Request(command + ":" + HexName(name));
-  if (StartsWith(r, "E") || !StartsWith(r, "T")) {
-    return nullptr;
+  TypeRef t = nullptr;
+  if (!StartsWith(r, "E") && StartsWith(r, "T")) {
+    t = target::ParseSerializedType(r.substr(1), types_);
   }
-  return target::ParseSerializedType(r.substr(1), types_);
+  type_cache_[key] = t;
+  return t;
 }
 
 TypeRef RemoteBackend::GetTargetTypedef(const std::string& name) {
@@ -187,10 +296,14 @@ TypeRef RemoteBackend::GetTargetEnum(const std::string& tag) {
 
 std::optional<dbg::EnumeratorInfo> RemoteBackend::GetTargetEnumerator(
     const std::string& name) {
+  if (auto it = enum_cache_.find(name); it != enum_cache_.end()) {
+    return it->second;
+  }
   obs::CallTimer timer(instr_, obs::NarrowCall::kSymbolLookup);
   counters_.symbol_lookups++;
   std::string r = Request("qEnumConst:" + HexName(name));
   if (!StartsWith(r, "C")) {
+    enum_cache_[name] = std::nullopt;
     return std::nullopt;  // E00 (not found) or protocol-unsupported
   }
   size_t semi = r.find(';');
@@ -201,20 +314,28 @@ std::optional<dbg::EnumeratorInfo> RemoteBackend::GetTargetEnumerator(
   dbg::EnumeratorInfo info;
   info.value = static_cast<int64_t>(v);
   info.type = target::ParseSerializedType(r.substr(semi + 1), types_);
+  enum_cache_[name] = info;
   return info;
 }
 
 size_t RemoteBackend::NumFrames() {
+  if (num_frames_cache_.has_value()) {
+    return *num_frames_cache_;
+  }
   obs::CallTimer timer(instr_, obs::NarrowCall::kFrames);
   std::string r = Request("qFrames");
   uint64_t n;
   if (!StartsWith(r, "N") || !ParseHexU64(std::string_view(r).substr(1), &n)) {
     ProtocolFail("bad frames response");
   }
+  num_frames_cache_ = n;
   return n;
 }
 
 std::string RemoteBackend::FrameFunction(size_t frame) {
+  if (auto it = frame_fn_cache_.find(frame); it != frame_fn_cache_.end()) {
+    return it->second;
+  }
   obs::CallTimer timer(instr_, obs::NarrowCall::kFrames);
   std::string r = Request("qFrameFn:" + HexU64(frame));
   if (!StartsWith(r, "F")) {
@@ -224,10 +345,15 @@ std::string RemoteBackend::FrameFunction(size_t frame) {
   if (!HexDecode(std::string_view(r).substr(1), &bytes)) {
     ProtocolFail("bad frame-function name");
   }
-  return std::string(bytes.begin(), bytes.end());
+  std::string fn(bytes.begin(), bytes.end());
+  frame_fn_cache_[frame] = fn;
+  return fn;
 }
 
 std::vector<dbg::FrameVariable> RemoteBackend::FrameLocals(size_t frame) {
+  if (auto it = frame_locals_cache_.find(frame); it != frame_locals_cache_.end()) {
+    return it->second;
+  }
   obs::CallTimer timer(instr_, obs::NarrowCall::kFrames);
   std::string r = Request("qFrameLocals:" + HexU64(frame));
   if (!StartsWith(r, "L")) {
@@ -253,6 +379,7 @@ std::vector<dbg::FrameVariable> RemoteBackend::FrameLocals(size_t frame) {
     v.type = target::ParseSerializedType(std::string(fields[2]), types_);
     out.push_back(std::move(v));
   }
+  frame_locals_cache_[frame] = out;
   return out;
 }
 

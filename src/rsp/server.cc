@@ -181,6 +181,34 @@ std::string RspServer::HandleImpl(const std::string& request) {
       }
       return out;
     }
+    if (StartsWith(request, "qDuelReadV:")) {
+      // Vectored valid-prefix read: qDuelReadV:<addr>,<len>;<addr>,<len>;...
+      // Reply is "V" + the per-range hex payloads joined with ';' — entry i is
+      // the longest contiguously-readable prefix of range i (possibly empty).
+      constexpr size_t kMaxRanges = 512;
+      constexpr uint64_t kMaxRangeBytes = 1 << 20;
+      std::vector<std::string_view> parts =
+          Split(std::string_view(request).substr(11), ';');
+      if (parts.size() > kMaxRanges) {
+        return "E03";
+      }
+      std::string out = "V";
+      bool first = true;
+      for (std::string_view part : parts) {
+        uint64_t addr, len;
+        if (!ParsePair(part, &addr, &len) || len > kMaxRangeBytes) {
+          return "E03";
+        }
+        if (!first) {
+          out += ";";
+        }
+        first = false;
+        std::vector<uint8_t> buf(len);
+        size_t n = backend_->ReadTargetPrefix(addr, buf.data(), len);
+        out += HexEncode(buf.data(), n);
+      }
+      return out;
+    }
     if (StartsWith(request, "vCall:")) {
       // vCall:<name-hex>:<type>,<hexbytes>;<type>,<hexbytes>;...
       std::string_view rest = std::string_view(request).substr(6);

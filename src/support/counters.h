@@ -16,12 +16,28 @@ struct BackendCounters {
   uint64_t bytes_written = 0;
   uint64_t read_calls = 0;
   uint64_t write_calls = 0;
+  uint64_t vectored_reads = 0;  // ReadTargetRanges round trips (remote: qDuelReadV)
   uint64_t symbol_lookups = 0;
   uint64_t type_lookups = 0;
   uint64_t target_calls = 0;
   uint64_t allocations = 0;
 
   void Reset() { *this = BackendCounters(); }
+};
+
+// dbg::MemoryAccess (the read-combining cache between the evaluators and the
+// backend) meters itself here. hits/misses count requests; bytes_from_cache
+// vs bytes_fetched is the "bytes saved" story the E4-style ablation reports.
+struct CacheCounters {
+  uint64_t hits = 0;            // requests served entirely from cached blocks
+  uint64_t misses = 0;          // requests that needed at least one block fetch
+  uint64_t passthroughs = 0;    // requests forwarded verbatim (cache off / unserveable)
+  uint64_t bytes_from_cache = 0;
+  uint64_t bytes_fetched = 0;   // bytes pulled from the backend into blocks
+  uint64_t block_fetches = 0;   // blocks fetched (over vectored or scalar reads)
+  uint64_t invalidations = 0;   // whole-cache drops (epoch, call, alloc, overflow)
+
+  void Reset() { *this = CacheCounters(); }
 };
 
 struct EvalCounters {

@@ -104,6 +104,7 @@ const char* NarrowCallName(NarrowCall c) {
     case NarrowCall::kSymbolLookup: return "get_target_symbol";
     case NarrowCall::kTypeLookup: return "get_target_type";
     case NarrowCall::kFrames: return "frames";
+    case NarrowCall::kReadVector: return "read_target_ranges";
     case NarrowCall::kNumKinds: break;
   }
   return "?";
@@ -123,6 +124,7 @@ BackendCounters CountersDelta(const BackendCounters& before, const BackendCounte
   d.bytes_written = after.bytes_written - before.bytes_written;
   d.read_calls = after.read_calls - before.read_calls;
   d.write_calls = after.write_calls - before.write_calls;
+  d.vectored_reads = after.vectored_reads - before.vectored_reads;
   d.symbol_lookups = after.symbol_lookups - before.symbol_lookups;
   d.type_lookups = after.type_lookups - before.type_lookups;
   d.target_calls = after.target_calls - before.target_calls;
@@ -140,6 +142,18 @@ EvalCounters CountersDelta(const EvalCounters& before, const EvalCounters& after
   return d;
 }
 
+CacheCounters CountersDelta(const CacheCounters& before, const CacheCounters& after) {
+  CacheCounters d;
+  d.hits = after.hits - before.hits;
+  d.misses = after.misses - before.misses;
+  d.passthroughs = after.passthroughs - before.passthroughs;
+  d.bytes_from_cache = after.bytes_from_cache - before.bytes_from_cache;
+  d.bytes_fetched = after.bytes_fetched - before.bytes_fetched;
+  d.block_fetches = after.block_fetches - before.block_fetches;
+  d.invalidations = after.invalidations - before.invalidations;
+  return d;
+}
+
 std::vector<std::string> QueryStats::Render() const {
   std::vector<std::string> out;
   out.push_back(StrPrintf("query: %s  [engine=%s]", query.c_str(), engine.c_str()));
@@ -154,16 +168,30 @@ std::vector<std::string> QueryStats::Render() const {
       static_cast<unsigned long long>(eval.name_lookups),
       static_cast<unsigned long long>(eval.symbolic_builds)));
   out.push_back(StrPrintf(
-      "backend: reads=%llu (%llu bytes) writes=%llu (%llu bytes) lookups=%llu "
-      "type_lookups=%llu calls=%llu allocs=%llu",
+      "backend: reads=%llu (%llu bytes) vectored=%llu writes=%llu (%llu bytes) "
+      "lookups=%llu type_lookups=%llu calls=%llu allocs=%llu",
       static_cast<unsigned long long>(backend.read_calls),
       static_cast<unsigned long long>(backend.bytes_read),
+      static_cast<unsigned long long>(backend.vectored_reads),
       static_cast<unsigned long long>(backend.write_calls),
       static_cast<unsigned long long>(backend.bytes_written),
       static_cast<unsigned long long>(backend.symbol_lookups),
       static_cast<unsigned long long>(backend.type_lookups),
       static_cast<unsigned long long>(backend.target_calls),
       static_cast<unsigned long long>(backend.allocations)));
+  if (cache.hits + cache.misses + cache.passthroughs > 0) {
+    uint64_t served = cache.bytes_from_cache;
+    out.push_back(StrPrintf(
+        "cache: hits=%llu misses=%llu passthrough=%llu blocks=%llu "
+        "bytes_from_cache=%llu bytes_fetched=%llu saved=%lld",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.passthroughs),
+        static_cast<unsigned long long>(cache.block_fetches),
+        static_cast<unsigned long long>(served),
+        static_cast<unsigned long long>(cache.bytes_fetched),
+        static_cast<long long>(served) - static_cast<long long>(cache.bytes_fetched)));
+  }
   for (size_t i = 0; i < kNumNarrowCalls; ++i) {
     if (call_counts[i] == 0) {
       continue;
@@ -237,7 +265,7 @@ std::string QueryStats::ToJson() const {
   out += StrPrintf(
       ",\"backend\":{\"read_calls\":%llu,\"bytes_read\":%llu,\"write_calls\":%llu,"
       "\"bytes_written\":%llu,\"symbol_lookups\":%llu,\"type_lookups\":%llu,"
-      "\"target_calls\":%llu,\"allocations\":%llu}",
+      "\"target_calls\":%llu,\"allocations\":%llu,\"vectored_reads\":%llu}",
       static_cast<unsigned long long>(backend.read_calls),
       static_cast<unsigned long long>(backend.bytes_read),
       static_cast<unsigned long long>(backend.write_calls),
@@ -245,7 +273,19 @@ std::string QueryStats::ToJson() const {
       static_cast<unsigned long long>(backend.symbol_lookups),
       static_cast<unsigned long long>(backend.type_lookups),
       static_cast<unsigned long long>(backend.target_calls),
-      static_cast<unsigned long long>(backend.allocations));
+      static_cast<unsigned long long>(backend.allocations),
+      static_cast<unsigned long long>(backend.vectored_reads));
+  out += StrPrintf(
+      ",\"cache\":{\"hits\":%llu,\"misses\":%llu,\"passthroughs\":%llu,"
+      "\"bytes_from_cache\":%llu,\"bytes_fetched\":%llu,\"block_fetches\":%llu,"
+      "\"invalidations\":%llu}",
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.passthroughs),
+      static_cast<unsigned long long>(cache.bytes_from_cache),
+      static_cast<unsigned long long>(cache.bytes_fetched),
+      static_cast<unsigned long long>(cache.block_fetches),
+      static_cast<unsigned long long>(cache.invalidations));
   out += ",\"narrow_calls\":{";
   bool first = true;
   for (size_t i = 0; i < kNumNarrowCalls; ++i) {

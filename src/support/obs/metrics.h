@@ -68,6 +68,7 @@ enum class NarrowCall {
   kSymbolLookup,  // GetTargetVariable / GetTargetFunction / GetTargetEnumerator
   kTypeLookup,    // GetTargetTypedef / Struct / Union / Enum
   kFrames,        // NumFrames / FrameFunction / FrameLocals
+  kReadVector,    // ReadTargetRanges (remote: one qDuelReadV wire packet)
   kNumKinds,
 };
 
@@ -159,6 +160,7 @@ struct QueryStats {
 
   EvalCounters eval;        // delta for this query
   BackendCounters backend;  // delta for this query
+  CacheCounters cache;      // access-layer delta for this query
 
   std::array<uint64_t, kNumNarrowCalls> call_counts{};
   std::array<Histogram, kNumNarrowCalls> call_ns{};  // filled when instr enabled
@@ -191,6 +193,7 @@ struct QueryStats {
 // Captures the counter deltas `after - before` field by field.
 BackendCounters CountersDelta(const BackendCounters& before, const BackendCounters& after);
 EvalCounters CountersDelta(const EvalCounters& before, const EvalCounters& after);
+CacheCounters CountersDelta(const CacheCounters& before, const CacheCounters& after);
 
 }  // namespace duel::obs
 

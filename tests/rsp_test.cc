@@ -206,7 +206,9 @@ TEST(SocketTransportTest, FullSessionOverARealByteStream) {
   QueryResult fault = session.Query("*(int *)0xdead0000");
   EXPECT_FALSE(fault.ok);
   EXPECT_NE(fault.error.find("Illegal memory reference"), std::string::npos) << fault.error;
-  EXPECT_GT(transport.round_trips(), 10u);
+  // Three queries still need a handful of round trips even with the block
+  // cache combining the reads (symbol lookups + block fetches + the fault).
+  EXPECT_GT(transport.round_trips(), 5u);
   EXPECT_GT(transport.bytes_on_wire(), 200u);
 }
 
