@@ -62,6 +62,8 @@ void PrintHelp() {
       "  engine sm|coro  choose the evaluation engine\n"
       "  symbolic on|off toggle symbolic values\n"
       "  cache on|off    toggle the read-combining target-memory cache (default on)\n"
+      "  plan            list cached compiled queries (MRU first) + cache counters;\n"
+      "                  'plan on|off' toggles the plan cache, 'plan clear' empties it\n"
       "  remote on|off   route queries through the RSP wire protocol\n"
       "  stats [on|off]  per-query stats (phases, counters, narrow-call latency);\n"
       "                  bare 'stats' re-prints the last collected stats\n"
@@ -304,6 +306,34 @@ int main(int argc, char** argv) {
       remote_session.options().eval.data_cache = on;
       baseline_ctx.opts().data_cache = on;
       std::cout << "cache: " << arg << "\n";
+    } else if (cmd == "plan") {
+      if (rest == "on" || rest == "off") {
+        bool on = rest == "on";
+        local_session.options().plan_cache = on;
+        remote_session.options().plan_cache = on;
+        std::cout << "plan cache: " << rest << "\n";
+      } else if (rest == "clear") {
+        local_session.plan_cache().Clear();
+        remote_session.plan_cache().Clear();
+        std::cout << "plan cache cleared\n";
+      } else if (rest.empty()) {
+        const PlanCacheCounters& pc = session.plan_cache().counters();
+        std::cout << "plan cache: " << session.plan_cache().size() << "/"
+                  << session.plan_cache().capacity() << " entries"
+                  << (session.options().plan_cache ? "" : " (disabled)")
+                  << "  lookups=" << pc.lookups << " hits=" << pc.hits
+                  << " misses=" << pc.misses
+                  << " invalidations=" << pc.invalidations
+                  << " evictions=" << pc.evictions << "\n";
+        for (const CompiledQuery* p : session.plan_cache().Entries()) {
+          std::cout << "  [hits=" << p->hits << " nodes=" << p->parsed.num_nodes
+                    << " bound=" << p->notes.bound_names.size()
+                    << " folded=" << p->notes.stats.nodes_folded << "] "
+                    << p->text << "\n";
+        }
+      } else {
+        std::cout << "usage: plan [on|off|clear]\n";
+      }
     } else if (cmd == "remote") {
       use_remote = rest == "on";
       std::cout << "remote: " << (use_remote ? "on" : "off") << "\n";

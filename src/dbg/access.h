@@ -92,6 +92,12 @@ class MemoryAccess {
   CacheCounters& counters() { return counters_; }
   const Config& config() const { return config_; }
 
+  // Monotonic count of target-mutating events routed through this layer
+  // (CallFunc, Alloc). The plan cache uses it the same way Invalidate()
+  // uses those events for data blocks: a cached plan built before a target
+  // call/alloc may hold stale addresses and must be rebuilt.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   struct Block {
     std::vector<uint8_t> bytes;  // block_size long
@@ -114,6 +120,7 @@ class MemoryAccess {
   std::map<uint64_t, Block> blocks_;  // block index -> contents
   uint64_t next_seq_block_ = UINT64_MAX;  // readahead: next block if sequential
   unsigned seq_run_ = 0;                  // consecutive sequential misses
+  uint64_t mutation_epoch_ = 0;
   CacheCounters counters_;
 };
 

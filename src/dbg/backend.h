@@ -95,6 +95,14 @@ class DebuggerBackend {
   // from before its own epoch.
   virtual void BeginQueryEpoch() {}
 
+  // Monotonic counter that moves whenever the symbol world may have changed:
+  // new globals/functions, a frame push, new frame locals. Cached query
+  // plans compare it to notice that their compile-time name bindings are
+  // stale. Backends that cannot observe symbol mutations return a constant
+  // (plans then rely on the per-query BeginQueryEpoch re-resolution that
+  // dynamic lookups already get).
+  virtual uint64_t SymbolEpoch() { return 0; }
+
   // --- target execution ---
   virtual RawDatum CallTargetFunc(const std::string& name, std::span<const RawDatum> args) = 0;
 
@@ -152,6 +160,7 @@ class SimBackend : public DebuggerBackend {
   std::string FrameFunction(size_t frame) override;
   std::vector<FrameVariable> FrameLocals(size_t frame) override;
   target::TypeTable& Types() override { return image_->types(); }
+  uint64_t SymbolEpoch() override { return image_->symbols().version(); }
 
   target::TargetImage& image() { return *image_; }
 

@@ -171,11 +171,9 @@ struct Node {
   TypeSpec type_spec;
   std::vector<DeclItem> decls;
 
-  // Filled by the optional prebind pass (see prebind.h): a kName resolved to
-  // a target variable at "compile time".
-  bool prebound = false;
-  target::TypeRef prebound_type;
-  uint64_t prebound_addr = 0;
+  // Compile-time facts (name bindings, folded constants, resolved types)
+  // live in the Annotations side table (sema.h), not on the node: the tree
+  // stays immutable after parsing so a CompiledQuery can cache it.
 
   Node(Op o, SourceRange r) : op(o), range(r) {}
 };

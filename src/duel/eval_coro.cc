@@ -58,6 +58,52 @@ class CoroEngine final : public EvalEngine {
 
 Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-function-size)
   EvalContext& ctx = *ctx_;
+
+  // A constant-folded subtree behaves exactly like a literal leaf: one value,
+  // then exhaustion (Next() re-arms the root per the restart rule).
+  if (const NodeInfo* info = NodeInfoFor(ctx, n); info != nullptr && info->folded) {
+    co_yield info->folded_value;
+    co_return;
+  }
+
+  // Generic operator families share their child sequencing with the other
+  // engine through ClassifyOp (eval_util.h); only structured operators reach
+  // the op switch below.
+  switch (ClassifyOp(n.op)) {
+    case OpClass::kMapUnary: {
+      auto g = Gen(*n.kids[0]);
+      while (auto u = Pull(g, n)) {
+        co_yield ApplyUnaryClass(ctx, n, *u);
+      }
+      co_return;
+    }
+    case OpClass::kBinaryProduct: {
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1, n)) {
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2, n)) {
+          co_yield ApplyBinaryClass(ctx, n, *u, *v);
+        }
+      }
+      co_return;
+    }
+    case OpClass::kFilter: {
+      Op cmp = FilterToComparison(n.op);
+      auto g1 = Gen(*n.kids[0]);
+      while (auto u = Pull(g1, n)) {
+        auto g2 = Gen(*n.kids[1]);
+        while (auto v = Pull(g2, n)) {
+          if (ApplyComparison(ctx, cmp, *u, *v, n.range)) {
+            co_yield *u;  // the filter returns its left operand
+          }
+        }
+      }
+      co_return;
+    }
+    case OpClass::kStructured:
+      break;
+  }
+
   switch (n.op) {
     // --- leaves ---------------------------------------------------------
     case Op::kIntConst:
@@ -146,26 +192,6 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       auto g2 = Gen(*n.kids[1]);
       while (auto v = Pull(g2, n)) {
         co_yield *v;
-      }
-      break;
-    }
-
-    // --- filters ------------------------------------------------------------
-    case Op::kIfGt:
-    case Op::kIfLt:
-    case Op::kIfGe:
-    case Op::kIfLe:
-    case Op::kIfEq:
-    case Op::kIfNe: {
-      Op cmp = FilterToComparison(n.op);
-      auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1, n)) {
-        auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2, n)) {
-          if (ApplyComparison(ctx, cmp, *u, *v, n.range)) {
-            co_yield *u;  // the filter returns its left operand
-          }
-        }
       }
       break;
     }
@@ -564,25 +590,12 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       break;
     }
 
+    default:
+      // Generic families were handled by the ClassifyOp dispatch above.
+      throw DuelError(ErrorKind::kInternal,
+                      StrPrintf("coroutine engine: unhandled op %s", OpName(n.op)));
+
     // --- C operators -----------------------------------------------------------
-    case Op::kIndex: {
-      auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1, n)) {
-        auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2, n)) {
-          co_yield ApplyIndex(ctx, *u, *v, n.range);
-        }
-      }
-      break;
-    }
-    case Op::kCast: {
-      TypeRef type = ctx.ResolveTypeSpec(n.type_spec, n.range);
-      auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g, n)) {
-        co_yield ApplyCast(ctx, type, *u, n.range);
-      }
-      break;
-    }
     case Op::kSizeofExpr: {
       auto g = Gen(*n.kids[0]);
       if (auto u = Pull(g, n)) {
@@ -590,58 +603,6 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
         co_yield Value::Int(ctx.types().ULong(),
                             static_cast<int64_t>(u->type() ? u->type()->size() : 0),
                             Sym::None());
-      }
-      break;
-    }
-    case Op::kNeg:
-    case Op::kPos:
-    case Op::kBitNot:
-    case Op::kNot:
-    case Op::kDeref:
-    case Op::kAddrOf: {
-      auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g, n)) {
-        co_yield ApplyUnary(ctx, n.op, *u, n.range);
-      }
-      break;
-    }
-    case Op::kPreInc:
-    case Op::kPreDec:
-    case Op::kPostInc:
-    case Op::kPostDec: {
-      auto g = Gen(*n.kids[0]);
-      while (auto u = Pull(g, n)) {
-        co_yield ApplyIncDec(ctx, n.op, *u, n.range);
-      }
-      break;
-    }
-    case Op::kAssign:
-    case Op::kMulEq:
-    case Op::kDivEq:
-    case Op::kModEq:
-    case Op::kAddEq:
-    case Op::kSubEq:
-    case Op::kShlEq:
-    case Op::kShrEq:
-    case Op::kAndEq:
-    case Op::kXorEq:
-    case Op::kOrEq: {
-      auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1, n)) {
-        auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2, n)) {
-          co_yield ApplyAssign(ctx, n.op, *u, *v, n.range);
-        }
-      }
-      break;
-    }
-    default: {  // remaining binary arithmetic/bitwise/comparison operators
-      auto g1 = Gen(*n.kids[0]);
-      while (auto u = Pull(g1, n)) {
-        auto g2 = Gen(*n.kids[1]);
-        while (auto v = Pull(g2, n)) {
-          co_yield ApplyBinary(ctx, n.op, *u, *v, n.range);
-        }
       }
       break;
     }

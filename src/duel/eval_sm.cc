@@ -108,6 +108,66 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
   ctx.Step(n.id);
   NodeState& st = StateOf(n);
 
+  // A constant-folded subtree behaves exactly like a literal leaf: one value,
+  // then NOVALUE (and the restart rule re-arms it).
+  if (const NodeInfo* info = NodeInfoFor(ctx, n); info != nullptr && info->folded) {
+    if (st.phase == 0) {
+      st.phase = 1;
+      return info->folded_value;
+    }
+    st.phase = 0;
+    return std::nullopt;
+  }
+
+  // Generic operator families share their child sequencing with the other
+  // engine through ClassifyOp (eval_util.h); only structured operators reach
+  // the op switch below.
+  switch (ClassifyOp(n.op)) {
+    case OpClass::kMapUnary: {
+      if (auto u = Eval(*n.kids[0])) {
+        return ApplyUnaryClass(ctx, n, *u);
+      }
+      return std::nullopt;
+    }
+    case OpClass::kBinaryProduct: {
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.value = std::move(*u);
+          st.phase = 1;
+        }
+        if (auto v = Eval(*n.kids[1])) {
+          return ApplyBinaryClass(ctx, n, st.value, *v);
+        }
+        st.phase = 0;
+      }
+    }
+    case OpClass::kFilter: {
+      Op cmp = FilterToComparison(n.op);
+      for (;;) {
+        if (st.phase == 0) {
+          auto u = Eval(*n.kids[0]);
+          if (!u.has_value()) {
+            return std::nullopt;
+          }
+          st.value = std::move(*u);
+          st.phase = 1;
+        }
+        while (auto v = Eval(*n.kids[1])) {
+          if (ApplyComparison(ctx, cmp, st.value, *v, n.range)) {
+            return st.value;  // yields its left operand
+          }
+        }
+        st.phase = 0;
+      }
+    }
+    case OpClass::kStructured:
+      break;
+  }
+
   switch (n.op) {
     // --- leaves: produce one value, then NOVALUE --------------------------
     case Op::kIntConst:
@@ -178,33 +238,6 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
         return u;
       }
       st.counter = 0;
-      return std::nullopt;
-    }
-    case Op::kNeg:
-    case Op::kPos:
-    case Op::kBitNot:
-    case Op::kNot:
-    case Op::kDeref:
-    case Op::kAddrOf: {
-      if (auto u = Eval(*n.kids[0])) {
-        return ApplyUnary(ctx, n.op, *u, n.range);
-      }
-      return std::nullopt;
-    }
-    case Op::kPreInc:
-    case Op::kPreDec:
-    case Op::kPostInc:
-    case Op::kPostDec: {
-      if (auto u = Eval(*n.kids[0])) {
-        return ApplyIncDec(ctx, n.op, *u, n.range);
-      }
-      return std::nullopt;
-    }
-    case Op::kCast: {
-      if (auto u = Eval(*n.kids[0])) {
-        TypeRef type = ctx.ResolveTypeSpec(n.type_spec, n.range);
-        return ApplyCast(ctx, type, *u, n.range);
-      }
       return std::nullopt;
     }
     case Op::kSizeofExpr: {
@@ -336,90 +369,6 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
       return std::nullopt;
 
     // --- binary operators (the paper's bin0/bin1 scheme) ----------------------
-    case Op::kMul:
-    case Op::kDiv:
-    case Op::kMod:
-    case Op::kAdd:
-    case Op::kSub:
-    case Op::kShl:
-    case Op::kShr:
-    case Op::kLt:
-    case Op::kGt:
-    case Op::kLe:
-    case Op::kGe:
-    case Op::kEq:
-    case Op::kNe:
-    case Op::kBitAnd:
-    case Op::kBitXor:
-    case Op::kBitOr: {
-      for (;;) {
-        if (st.phase == 0) {
-          auto u = Eval(*n.kids[0]);
-          if (!u.has_value()) {
-            return std::nullopt;
-          }
-          st.value = std::move(*u);
-          st.phase = 1;
-        }
-        if (auto v = Eval(*n.kids[1])) {
-          return ApplyBinary(ctx, n.op, st.value, *v, n.range);
-        }
-        st.phase = 0;
-      }
-    }
-    case Op::kAssign:
-    case Op::kMulEq:
-    case Op::kDivEq:
-    case Op::kModEq:
-    case Op::kAddEq:
-    case Op::kSubEq:
-    case Op::kShlEq:
-    case Op::kShrEq:
-    case Op::kAndEq:
-    case Op::kXorEq:
-    case Op::kOrEq: {
-      for (;;) {
-        if (st.phase == 0) {
-          auto u = Eval(*n.kids[0]);
-          if (!u.has_value()) {
-            return std::nullopt;
-          }
-          st.value = std::move(*u);
-          st.phase = 1;
-        }
-        if (auto v = Eval(*n.kids[1])) {
-          return ApplyAssign(ctx, n.op, st.value, *v, n.range);
-        }
-        st.phase = 0;
-      }
-    }
-
-    // --- filters ---------------------------------------------------------------
-    case Op::kIfGt:
-    case Op::kIfLt:
-    case Op::kIfGe:
-    case Op::kIfLe:
-    case Op::kIfEq:
-    case Op::kIfNe: {
-      Op cmp = FilterToComparison(n.op);
-      for (;;) {
-        if (st.phase == 0) {
-          auto u = Eval(*n.kids[0]);
-          if (!u.has_value()) {
-            return std::nullopt;
-          }
-          st.value = std::move(*u);
-          st.phase = 1;
-        }
-        while (auto v = Eval(*n.kids[1])) {
-          if (ApplyComparison(ctx, cmp, st.value, *v, n.range)) {
-            return st.value;  // yields its left operand
-          }
-        }
-        st.phase = 0;
-      }
-    }
-
     // --- logical / conditional ---------------------------------------------------
     case Op::kAndAnd: {
       for (;;) {
@@ -767,23 +716,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
       return std::nullopt;
     }
 
-    // --- index and calls -----------------------------------------------------
-    case Op::kIndex: {
-      for (;;) {
-        if (st.phase == 0) {
-          auto u = Eval(*n.kids[0]);
-          if (!u.has_value()) {
-            return std::nullopt;
-          }
-          st.value = std::move(*u);
-          st.phase = 1;
-        }
-        if (auto v = Eval(*n.kids[1])) {
-          return ApplyIndex(ctx, st.value, *v, n.range);
-        }
-        st.phase = 0;
-      }
-    }
+    // --- calls ---------------------------------------------------------------
     case Op::kCall: {
       const Node& callee = *n.kids[0];
       if (callee.op != Op::kName) {
@@ -851,6 +784,9 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
       st.counter = 0;
       return std::nullopt;
     }
+
+    default:
+      break;  // generic families were handled by the ClassifyOp dispatch
   }
   throw DuelError(ErrorKind::kInternal,
                   StrPrintf("state-machine engine: unhandled op %s", OpName(n.op)));

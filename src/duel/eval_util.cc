@@ -43,15 +43,15 @@ Value ConstValue(EvalContext& ctx, const Node& n) {
 }
 
 Value StringValue(EvalContext& ctx, const Node& n) {
-  Addr addr = ctx.InternString(&n, n.text);
+  Addr addr = ctx.InternString(n.text);
   Sym sym = ctx.MakeSym("\"" + EscapeString(n.text) + "\"");
   return Value::Pointer(ctx.types().PointerTo(ctx.types().Char()), addr, std::move(sym));
 }
 
 Value NameValue(EvalContext& ctx, const Node& n) {
-  if (n.prebound) {
+  if (const NodeInfo* info = NodeInfoFor(ctx, n); info != nullptr && info->prebound) {
     ctx.counters().name_lookups++;  // counted, but resolved without a search
-    return Value::LV(n.prebound_type, n.prebound_addr, ctx.MakeSym(n.text));
+    return Value::LV(info->bound_type, info->bound_addr, ctx.MakeSym(n.text));
   }
   if (auto v = ctx.LookupName(n.text)) {
     return *v;
@@ -83,9 +83,106 @@ void ExecDecl(EvalContext& ctx, const Node& n) {
 }
 
 Value SizeofTypeValue(EvalContext& ctx, const Node& n) {
-  TypeRef type = ctx.ResolveTypeSpec(n.type_spec, n.range);
+  TypeRef type = ResolvedTypeOf(ctx, n);
   return Value::Int(ctx.types().ULong(), static_cast<int64_t>(type->size()),
                     ctx.MakeSym("sizeof(" + n.type_spec.ToString() + ")"));
+}
+
+TypeRef ResolvedTypeOf(EvalContext& ctx, const Node& n) {
+  if (const NodeInfo* info = NodeInfoFor(ctx, n); info != nullptr && info->resolved_type) {
+    return info->resolved_type;
+  }
+  return ctx.ResolveTypeSpec(n.type_spec, n.range);
+}
+
+OpClass ClassifyOp(Op op) {
+  switch (op) {
+    case Op::kNeg:
+    case Op::kPos:
+    case Op::kBitNot:
+    case Op::kNot:
+    case Op::kDeref:
+    case Op::kAddrOf:
+    case Op::kPreInc:
+    case Op::kPreDec:
+    case Op::kPostInc:
+    case Op::kPostDec:
+    case Op::kCast:
+      return OpClass::kMapUnary;
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kLe:
+    case Op::kGe:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kBitAnd:
+    case Op::kBitXor:
+    case Op::kBitOr:
+    case Op::kAssign:
+    case Op::kMulEq:
+    case Op::kDivEq:
+    case Op::kModEq:
+    case Op::kAddEq:
+    case Op::kSubEq:
+    case Op::kShlEq:
+    case Op::kShrEq:
+    case Op::kAndEq:
+    case Op::kXorEq:
+    case Op::kOrEq:
+    case Op::kIndex:
+      return OpClass::kBinaryProduct;
+    case Op::kIfGt:
+    case Op::kIfLt:
+    case Op::kIfGe:
+    case Op::kIfLe:
+    case Op::kIfEq:
+    case Op::kIfNe:
+      return OpClass::kFilter;
+    default:
+      return OpClass::kStructured;
+  }
+}
+
+Value ApplyUnaryClass(EvalContext& ctx, const Node& n, const Value& u) {
+  switch (n.op) {
+    case Op::kPreInc:
+    case Op::kPreDec:
+    case Op::kPostInc:
+    case Op::kPostDec:
+      return ApplyIncDec(ctx, n.op, u, n.range);
+    case Op::kCast:
+      return ApplyCast(ctx, ResolvedTypeOf(ctx, n), u, n.range);
+    default:
+      return ApplyUnary(ctx, n.op, u, n.range);
+  }
+}
+
+Value ApplyBinaryClass(EvalContext& ctx, const Node& n, const Value& u, const Value& v) {
+  switch (n.op) {
+    case Op::kAssign:
+    case Op::kMulEq:
+    case Op::kDivEq:
+    case Op::kModEq:
+    case Op::kAddEq:
+    case Op::kSubEq:
+    case Op::kShlEq:
+    case Op::kShrEq:
+    case Op::kAndEq:
+    case Op::kXorEq:
+    case Op::kOrEq:
+      return ApplyAssign(ctx, n.op, u, v, n.range);
+    case Op::kIndex:
+      return ApplyIndex(ctx, u, v, n.range);
+    default:
+      return ApplyBinary(ctx, n.op, u, v, n.range);
+  }
 }
 
 namespace {

@@ -11,6 +11,7 @@
 #include "src/duel/apply.h"
 #include "src/duel/ast.h"
 #include "src/duel/evalctx.h"
+#include "src/duel/sema.h"
 #include "src/duel/value.h"
 
 namespace duel {
@@ -30,6 +31,34 @@ void ExecDecl(EvalContext& ctx, const Node& n);
 
 // sizeof(type).
 Value SizeofTypeValue(EvalContext& ctx, const Node& n);
+
+// The syntactic type of a kCast / kSizeofType node: the analyze stage's
+// pre-resolved type when a plan is attached, dynamic resolution otherwise.
+TypeRef ResolvedTypeOf(EvalContext& ctx, const Node& n);
+
+// --- shared operator dispatch ------------------------------------------------
+//
+// Every operator whose child sequencing is generic is classified here, and
+// both engines pre-dispatch on the class with one generic block per family.
+// The engines' own switches keep only the structured operators, so adding an
+// operator to one of these families is a single edit in ClassifyOp plus its
+// apply case — the engines cannot drift apart on it.
+
+enum class OpClass {
+  kMapUnary,       // one operand; one output per input (ApplyUnaryClass)
+  kBinaryProduct,  // nested product over two operands (ApplyBinaryClass)
+  kFilter,         // product; yields the LEFT operand when the comparison holds
+  kStructured,     // engine-specific sequencing (generators, control, scopes)
+};
+
+OpClass ClassifyOp(Op op);
+
+// The apply step for kMapUnary ops (unary operators, ++/--, casts).
+Value ApplyUnaryClass(EvalContext& ctx, const Node& n, const Value& u);
+
+// The apply step for kBinaryProduct ops (arithmetic/bitwise/comparison,
+// assignments, indexing).
+Value ApplyBinaryClass(EvalContext& ctx, const Node& n, const Value& u, const Value& v);
 
 // Sym composition for values produced inside a with scope (the `.`, `->`
 // and expansion operators): passes `_` through, extends ->member chains,

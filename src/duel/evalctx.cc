@@ -375,8 +375,8 @@ TypeRef EvalContext::ResolveTypeSpec(const TypeSpec& spec, SourceRange range) {
   return base;
 }
 
-Addr EvalContext::InternString(const void* node_key, const std::string& body) {
-  auto it = interned_strings_.find(node_key);
+Addr EvalContext::InternString(const std::string& body) {
+  auto it = interned_strings_.find(body);
   if (it != interned_strings_.end()) {
     return it->second;
   }
@@ -384,7 +384,7 @@ Addr EvalContext::InternString(const void* node_key, const std::string& body) {
   access_.PutBytes(addr, body.data(), body.size());
   uint8_t nul = 0;
   access_.PutBytes(addr + body.size(), &nul, 1);
-  interned_strings_[node_key] = addr;
+  interned_strings_[body] = addr;
   return addr;
 }
 

@@ -19,6 +19,8 @@
 
 namespace duel {
 
+class Annotations;  // sema.h: per-node side table produced by the analyze stage
+
 struct EvalOptions {
   enum class SymMode {
     kOff,   // no symbolic values computed (E3 ablation)
@@ -43,7 +45,7 @@ struct EvalOptions {
   bool lookup_cache = false;
 
   // The paper's proposed optimization: bind eligible names to target
-  // variables at "compile time" (see prebind.h).
+  // variables at "compile time" (the analyze stage, see sema.h).
   bool prebind = false;
 
   // Route target-memory traffic through the read-combining block cache
@@ -107,6 +109,13 @@ class EvalContext {
   void set_profiler(obs::NodeProfiler* p) { profiler_ = p; }
   obs::NodeProfiler* profiler() const { return profiler_; }
 
+  // The analyze stage's side table for the tree currently being executed
+  // (owned by the session's CompiledQuery; set for the duration of one
+  // execute stage). Null when an engine is driven without a plan — the
+  // helpers in eval_util.cc then fall back to fully dynamic resolution.
+  void set_annotations(const Annotations* a) { annotations_ = a; }
+  const Annotations* annotations() const { return annotations_; }
+
   // --- value plumbing -------------------------------------------------------
 
   // Converts to an rvalue: loads lvalues from target memory (including
@@ -150,12 +159,14 @@ class EvalContext {
 
   void ClearLookupCache() { lookup_cache_.clear(); }
 
-  // Interns a string literal in target space, once per AST node (the paper's
-  // duel_alloc_target_space path).
-  Addr InternString(const void* node_key, const std::string& body);
+  // Interns a string literal in target space, once per distinct body (the
+  // paper's duel_alloc_target_space path). Keyed by content, not by AST
+  // node: plans cache their trees across queries, and node addresses can be
+  // recycled, so identity of bytes is the only stable key.
+  Addr InternString(const std::string& body);
 
  private:
-  std::map<const void*, Addr> interned_strings_;
+  std::map<std::string, Addr> interned_strings_;
   dbg::DebuggerBackend* backend_;
   dbg::MemoryAccess access_;
   EvalOptions opts_;
@@ -163,6 +174,7 @@ class EvalContext {
   ScopeStack scopes_;
   EvalCounters counters_;
   obs::NodeProfiler* profiler_ = nullptr;
+  const Annotations* annotations_ = nullptr;
   std::map<std::string, std::optional<dbg::VariableInfo>> lookup_cache_;
 };
 

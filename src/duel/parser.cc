@@ -52,6 +52,11 @@ Parser::Parser(std::string_view input, TypeNamePredicate is_type_name)
   tokens_ = Lexer(input).LexAll();
 }
 
+Parser::Parser(std::vector<Token> tokens, TypeNamePredicate is_type_name)
+    : is_type_name_(std::move(is_type_name)) {
+  tokens_ = std::move(tokens);
+}
+
 const Token& Parser::Ahead(size_t n) const {
   size_t i = pos_ + n;
   return i < tokens_.size() ? tokens_[i] : tokens_.back();

@@ -42,6 +42,11 @@ class Parser {
 
   explicit Parser(std::string_view input, TypeNamePredicate is_type_name = {});
 
+  // Parses a pre-lexed token stream (must end with the lexer's kEnd token).
+  // The staged pipeline uses this to time lexing separately from parsing
+  // (see Session::BuildPlan).
+  explicit Parser(std::vector<Token> tokens, TypeNamePredicate is_type_name = {});
+
   // Parses the whole input. Throws DuelError(kParse / kLex).
   ParseResult Parse();
 

@@ -1,0 +1,66 @@
+#include "src/duel/plan.h"
+
+namespace duel {
+
+CompiledQuery* PlanCache::Find(const std::string& text, uint64_t fingerprint) {
+  auto it = index_.find(Key(text, fingerprint));
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);  // touch: now MRU
+  return &entries_.front();
+}
+
+CompiledQuery* PlanCache::Insert(std::unique_ptr<CompiledQuery> plan) {
+  Key key(plan->text, plan->fingerprint);
+  if (auto it = index_.find(key); it != index_.end()) {
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+  entries_.push_front(std::move(*plan));
+  index_[key] = entries_.begin();
+  while (entries_.size() > capacity_ && !entries_.empty()) {
+    const CompiledQuery& lru = entries_.back();
+    index_.erase(Key(lru.text, lru.fingerprint));
+    entries_.pop_back();
+    counters_.evictions++;
+  }
+  // When capacity is 0 the plan was evicted immediately; callers must not
+  // hold the pointer in that configuration (Session disables the cache).
+  return entries_.empty() ? nullptr : &entries_.front();
+}
+
+void PlanCache::Erase(const std::string& text, uint64_t fingerprint) {
+  auto it = index_.find(Key(text, fingerprint));
+  if (it == index_.end()) {
+    return;
+  }
+  entries_.erase(it->second);
+  index_.erase(it);
+}
+
+void PlanCache::Clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  while (entries_.size() > capacity_) {
+    const CompiledQuery& lru = entries_.back();
+    index_.erase(Key(lru.text, lru.fingerprint));
+    entries_.pop_back();
+    counters_.evictions++;
+  }
+}
+
+std::vector<const CompiledQuery*> PlanCache::Entries() const {
+  std::vector<const CompiledQuery*> out;
+  out.reserve(entries_.size());
+  for (const CompiledQuery& p : entries_) {
+    out.push_back(&p);
+  }
+  return out;
+}
+
+}  // namespace duel

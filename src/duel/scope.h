@@ -19,19 +19,37 @@ namespace duel {
 
 class AliasTable {
  public:
-  void Set(const std::string& name, Value v) { aliases_[name] = std::move(v); }
+  void Set(const std::string& name, Value v) {
+    aliases_[name] = std::move(v);
+    ++version_;
+  }
   const Value* Find(const std::string& name) const {
     auto it = aliases_.find(name);
     return it == aliases_.end() ? nullptr : &it->second;
   }
   bool Has(const std::string& name) const { return aliases_.count(name) != 0; }
-  void Remove(const std::string& name) { aliases_.erase(name); }
-  void Clear() { aliases_.clear(); }
+  void Remove(const std::string& name) {
+    if (aliases_.erase(name) != 0) {
+      ++version_;
+    }
+  }
+  void Clear() {
+    if (!aliases_.empty()) {
+      ++version_;
+    }
+    aliases_.clear();
+  }
   size_t size() const { return aliases_.size(); }
   std::vector<std::string> Names() const;
 
+  // Bumped on every mutation. The plan cache uses this as a fast path: a
+  // cached plan whose prebound names could be shadowed by a new alias only
+  // needs re-checking when the version moved (see Session::PlanIsValid).
+  uint64_t version() const { return version_; }
+
  private:
   std::map<std::string, Value> aliases_;
+  uint64_t version_ = 0;
 };
 
 // One scope opened by `with`: the subject value whose members become

@@ -1,0 +1,212 @@
+#include "src/duel/sema.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "src/duel/apply.h"
+#include "src/duel/eval_util.h"
+
+namespace duel {
+
+namespace {
+
+// Collects every name the query itself can (re)define: aliases via `:=`,
+// index aliases via `#`, declarations. Such names must resolve dynamically.
+void CollectDefinedNames(const Node& n, std::set<std::string>* out) {
+  if (n.op == Op::kDefine || n.op == Op::kIndexAlias) {
+    out->insert(n.text);
+  }
+  if (n.op == Op::kDecl) {
+    for (const DeclItem& d : n.decls) {
+      out->insert(d.name);
+    }
+  }
+  for (const NodePtr& k : n.kids) {
+    CollectDefinedNames(*k, out);
+  }
+}
+
+// Pure subtrees: literals combined by C's arithmetic/bitwise/comparison
+// operators. Generators, filters, short-circuit and control ops are excluded
+// — they shape the value *sequence*, and folding must never change how many
+// values a node produces or when its operands are (not) evaluated.
+bool FoldableLeaf(Op op) {
+  return op == Op::kIntConst || op == Op::kCharConst || op == Op::kFloatConst;
+}
+
+bool FoldableUnary(Op op) {
+  switch (op) {
+    case Op::kNeg:
+    case Op::kPos:
+    case Op::kBitNot:
+    case Op::kNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool FoldableBinary(Op op) {
+  switch (op) {
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kLe:
+    case Op::kGe:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kBitAnd:
+    case Op::kBitXor:
+    case Op::kBitOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Sema {
+ public:
+  Sema(EvalContext& ctx, Annotations& notes) : ctx_(&ctx), notes_(&notes) {}
+
+  void Run(const Node& root) {
+    if (ctx_->opts().prebind) {
+      CollectDefinedNames(root, &defined_);
+    }
+    Walk(root, /*in_with_scope=*/false);
+  }
+
+ private:
+  void Walk(const Node& n, bool in_with_scope) {
+    if (FoldableUnary(n.op) || FoldableBinary(n.op)) {
+      if (std::optional<Value> v = Fold(n)) {
+        NodeInfo& info = notes_->At(n.id);
+        info.folded = true;
+        info.folded_value = std::move(*v);
+        notes_->stats.nodes_folded++;
+        return;  // the kids are dead code now; leave them unannotated
+      }
+    }
+    switch (n.op) {
+      case Op::kName:
+        notes_->stats.names_total++;
+        TryBind(n, in_with_scope);
+        return;
+      case Op::kCast:
+      case Op::kSizeofType:
+        TryResolveType(n);
+        break;
+      case Op::kWith:
+      case Op::kArrowWith:
+      case Op::kDfs:
+      case Op::kBfs:
+      case Op::kUntil:
+        // The right operand resolves names against the opened scope first
+        // (for kUntil: the non-literal predicate runs in the value's scope).
+        Walk(*n.kids[0], in_with_scope);
+        Walk(*n.kids[1], /*in_with_scope=*/true);
+        return;
+      case Op::kCall:
+        // The callee name is not an evaluated expression; skip it.
+        for (size_t i = 1; i < n.kids.size(); ++i) {
+          Walk(*n.kids[i], in_with_scope);
+        }
+        return;
+      default:
+        break;
+    }
+    for (const NodePtr& k : n.kids) {
+      Walk(*k, in_with_scope);
+    }
+  }
+
+  // Compile-time name binding (conservative; see header).
+  void TryBind(const Node& n, bool in_with_scope) {
+    if (!ctx_->opts().prebind || in_with_scope) {
+      return;  // dynamic resolution (could be a member of the opened scope)
+    }
+    if (defined_.count(n.text) != 0 || ctx_->aliases().Has(n.text)) {
+      return;  // the query (or the session) binds this name dynamically
+    }
+    auto info = ctx_->backend().GetTargetVariable(n.text);
+    if (!info.has_value()) {
+      return;  // functions/enumerators keep dynamic resolution
+    }
+    NodeInfo& ni = notes_->At(n.id);
+    ni.prebound = true;
+    ni.bound_type = info->type;
+    ni.bound_addr = info->addr;
+    notes_->bound_names.push_back(n.text);
+    notes_->stats.names_bound++;
+  }
+
+  void TryResolveType(const Node& n) {
+    try {
+      notes_->At(n.id).resolved_type = ctx_->ResolveTypeSpec(n.type_spec, n.range);
+      notes_->stats.types_resolved++;
+    } catch (const DuelError&) {
+      // Unknown type: leave unresolved so the error is raised at execute
+      // time — if the node runs at all (it may sit under a false branch).
+    }
+  }
+
+  // Evaluates a pure subtree to its one constant value, memoized per node so
+  // a discarded attempt higher up never double-counts the work.
+  std::optional<Value> Fold(const Node& n) {
+    auto it = memo_.find(n.id);
+    if (it != memo_.end()) {
+      return it->second;
+    }
+    std::optional<Value> r = FoldUncached(n);
+    memo_.emplace(n.id, r);
+    return r;
+  }
+
+  std::optional<Value> FoldUncached(const Node& n) {
+    try {
+      if (FoldableLeaf(n.op)) {
+        return ConstValue(*ctx_, n);
+      }
+      if (FoldableUnary(n.op) && n.kids.size() == 1) {
+        if (std::optional<Value> u = Fold(*n.kids[0])) {
+          return ApplyUnary(*ctx_, n.op, *u, n.range);
+        }
+      } else if (FoldableBinary(n.op) && n.kids.size() == 2) {
+        std::optional<Value> u = Fold(*n.kids[0]);
+        if (!u.has_value()) {
+          return std::nullopt;
+        }
+        if (std::optional<Value> v = Fold(*n.kids[1])) {
+          return ApplyBinary(*ctx_, n.op, *u, *v, n.range);
+        }
+      }
+    } catch (const DuelError&) {
+      // 1/0 and friends: leave unfolded. The error surfaces at execute time
+      // with the paper's lazy semantics (not at all under a false branch).
+    }
+    return std::nullopt;
+  }
+
+  EvalContext* ctx_;
+  Annotations* notes_;
+  std::set<std::string> defined_;
+  std::map<int, std::optional<Value>> memo_;
+};
+
+}  // namespace
+
+Annotations Analyze(EvalContext& ctx, const Node& root, int num_nodes) {
+  Annotations notes(num_nodes);
+  Sema sema(ctx, notes);
+  sema.Run(root);
+  return notes;
+}
+
+}  // namespace duel

@@ -1,10 +1,11 @@
 #include "src/duel/session.h"
 
 #include <array>
+#include <cstdlib>
 
+#include "src/duel/lexer.h"
 #include "src/duel/output.h"
-#include "src/duel/parser.h"
-#include "src/duel/prebind.h"
+#include "src/duel/sema.h"
 
 namespace duel {
 
@@ -35,6 +36,28 @@ void FillProfile(const Node& n, int depth, const std::string& expr,
   }
 }
 
+// The options that change what a compiled artifact contains: folded values
+// capture their symbolic text (sym_mode), and the analyze stage binds names
+// only under prebind. Everything else affects execution, not compilation.
+uint64_t PlanFingerprint(const EvalOptions& o) {
+  return (static_cast<uint64_t>(o.sym_mode) << 1) | (o.prebind ? 1u : 0u);
+}
+
+// RAII: the context's annotation pointer must never outlive the execute
+// stage that attached it (the plan may be evicted between queries).
+class ScopedAnnotations {
+ public:
+  ScopedAnnotations(EvalContext& ctx, const Annotations* notes) : ctx_(&ctx) {
+    ctx_->set_annotations(notes);
+  }
+  ~ScopedAnnotations() { ctx_->set_annotations(nullptr); }
+  ScopedAnnotations(const ScopedAnnotations&) = delete;
+  ScopedAnnotations& operator=(const ScopedAnnotations&) = delete;
+
+ private:
+  EvalContext* ctx_;
+};
+
 }  // namespace
 
 std::string QueryResult::Text() const {
@@ -51,7 +74,21 @@ std::string QueryResult::Text() const {
 }
 
 Session::Session(dbg::DebuggerBackend& backend, SessionOptions opts)
-    : backend_(&backend), opts_(opts), ctx_(backend, opts.eval) {}
+    : backend_(&backend),
+      opts_(opts),
+      ctx_(backend, opts.eval),
+      plan_cache_(opts.plan_cache_capacity) {
+  // The CI ablation switch: DUEL_PLAN_CACHE=off runs every suite with the
+  // staged pipeline rebuilt per query (mirroring the data-cache ablation).
+  if (const char* env = std::getenv("DUEL_PLAN_CACHE"); env != nullptr) {
+    std::string v(env);
+    if (v == "off" || v == "0" || v == "false") {
+      opts_.plan_cache = false;
+    } else if (v == "on" || v == "1") {
+      opts_.plan_cache = true;
+    }
+  }
+}
 
 void Session::Remember(const std::string& expr) {
   if (opts_.max_history == 0) {
@@ -64,6 +101,59 @@ void Session::Remember(const std::string& expr) {
   if (history_.size() > opts_.max_history) {
     history_.erase(history_.begin());
   }
+}
+
+std::unique_ptr<CompiledQuery> Session::BuildPlan(const std::string& expr, uint64_t fingerprint) {
+  auto plan = std::make_unique<CompiledQuery>();
+  plan->text = expr;
+  plan->fingerprint = fingerprint;
+
+  const uint64_t t_lex = obs::NowNs();
+  {
+    obs::Span span(&tracer_, "lex");
+    plan->tokens = Lexer(plan->text).LexAll();
+  }
+  const uint64_t t_parse = obs::NowNs();
+  plan->lex_ns = t_parse - t_lex;
+  {
+    obs::Span span(&tracer_, "parse");
+    Parser parser(plan->tokens, [this](const std::string& name) {
+      return backend_->GetTargetTypedef(name) != nullptr;
+    });
+    plan->parsed = parser.Parse();
+  }
+  const uint64_t t_sema = obs::NowNs();
+  plan->parse_ns = t_sema - t_parse;
+  {
+    obs::Span span(&tracer_, "sema");
+    plan->notes = Analyze(ctx_, *plan->parsed.root, plan->parsed.num_nodes);
+  }
+  plan->sema_ns = obs::NowNs() - t_sema;
+
+  plan->symbol_epoch = backend_->SymbolEpoch();
+  plan->mutation_epoch = ctx_.access().mutation_epoch();
+  plan->alias_version = ctx_.aliases().version();
+  return plan;
+}
+
+bool Session::PlanIsValid(CompiledQuery& plan) {
+  if (plan.symbol_epoch != backend_->SymbolEpoch()) {
+    return false;  // frame change / symbol-table mutation: bindings stale
+  }
+  if (plan.mutation_epoch != ctx_.access().mutation_epoch()) {
+    return false;  // a target call/alloc happened since the plan last ran
+  }
+  if (plan.alias_version != ctx_.aliases().version()) {
+    // Only the plan's own compile-time name bindings are alias-sensitive; a
+    // plan with none (prebind off, or nothing bound) survives alias churn.
+    for (const std::string& name : plan.notes.bound_names) {
+      if (ctx_.aliases().Has(name)) {
+        return false;  // a session alias now shadows a prebound name
+      }
+    }
+    plan.alias_version = ctx_.aliases().version();  // fast path for next time
+  }
+  return true;
 }
 
 uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
@@ -80,6 +170,7 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
   EvalCounters eval_before;
   BackendCounters backend_before;
   CacheCounters cache_before;
+  PlanCacheCounters plan_before;
   if (collect) {
     instr.ResetHistograms();
     for (size_t i = 0; i < obs::kNumNarrowCalls; ++i) {
@@ -88,33 +179,55 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
     eval_before = ctx_.counters();
     backend_before = backend_->counters();
     cache_before = ctx_.access().counters();
+    plan_before = plan_cache_.counters();
     stats.query = expr;
   }
 
   const uint64_t t_query = obs::NowNs();
   obs::Span query_span(&tracer_, "query", expr);
 
-  ParseResult parsed;
-  {
-    obs::Span span(&tracer_, "parse");
-    Parser parser(expr, [this](const std::string& name) {
-      return backend_->GetTargetTypedef(name) != nullptr;
-    });
-    parsed = parser.Parse();
+  // --- plan: reuse a cached CompiledQuery, or build one --------------------
+  const uint64_t fingerprint = PlanFingerprint(opts_.eval);
+  const bool cache_on = opts_.plan_cache && plan_cache_.capacity() > 0;
+  CompiledQuery* plan = nullptr;
+  std::unique_ptr<CompiledQuery> uncached;  // owns the plan when cache is off
+  if (cache_on) {
+    PlanCacheCounters& pc = plan_cache_.counters();
+    pc.lookups++;
+    plan = plan_cache_.Find(expr, fingerprint);
+    if (plan != nullptr && !PlanIsValid(*plan)) {
+      plan_cache_.Erase(expr, fingerprint);
+      pc.invalidations++;
+      plan = nullptr;
+    }
+    if (plan != nullptr) {
+      pc.hits++;
+      plan->hits++;
+      stats.plan_hit = true;
+    } else {
+      pc.misses++;
+    }
   }
-  stats.parse_ns = obs::NowNs() - t_query;
-
-  const uint64_t t_prebind = obs::NowNs();
-  if (opts_.eval.prebind) {
-    obs::Span span(&tracer_, "prebind");
-    PrebindNames(ctx_, *parsed.root);
+  if (plan == nullptr) {
+    std::unique_ptr<CompiledQuery> built = BuildPlan(expr, fingerprint);
+    stats.lex_ns = built->lex_ns;
+    stats.parse_ns = built->parse_ns;
+    stats.sema_ns = built->sema_ns;
+    if (cache_on) {
+      plan = plan_cache_.Insert(std::move(built));
+    } else {
+      uncached = std::move(built);
+      plan = uncached.get();
+    }
   }
-  stats.prebind_ns = obs::NowNs() - t_prebind;
 
+  // --- execute: both engines consume the annotated AST ---------------------
+  const Node& root = *plan->parsed.root;
+  ScopedAnnotations scoped_notes(ctx_, &plan->notes);
   std::unique_ptr<EvalEngine> engine = MakeEngine(opts_.engine, ctx_);
   stats.engine = engine->name();
   if (opts_.profile) {
-    profiler_.Begin(parsed.num_nodes);
+    profiler_.Begin(plan->parsed.num_nodes);
     ctx_.set_profiler(&profiler_);
   }
 
@@ -122,7 +235,7 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
   uint64_t count = 0;
   {
     obs::Span span(&tracer_, "eval");
-    engine->Start(*parsed.root, parsed.num_nodes);
+    engine->Start(root, plan->parsed.num_nodes);
     while (auto v = engine->Next()) {
       ++count;
       if (result != nullptr) {
@@ -152,11 +265,21 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
     ctx_.set_profiler(nullptr);
   }
 
+  if (cache_on) {
+    // The run completed: refresh the epochs this query moved itself. Sound
+    // because nothing the plan stores reads target memory, and a query's
+    // own alias definitions are never prebound — so a plan can only be
+    // invalidated by events outside its own runs.
+    plan->mutation_epoch = ctx_.access().mutation_epoch();
+    plan->alias_version = ctx_.aliases().version();
+  }
+
   if (collect) {
     stats.values = count;
     stats.eval = obs::CountersDelta(eval_before, ctx_.counters());
     stats.backend = obs::CountersDelta(backend_before, backend_->counters());
     stats.cache = obs::CountersDelta(cache_before, ctx_.access().counters());
+    stats.plan = obs::CountersDelta(plan_before, plan_cache_.counters());
     for (size_t i = 0; i < obs::kNumNarrowCalls; ++i) {
       stats.call_counts[i] = instr.calls(static_cast<obs::NarrowCall>(i)) - calls_before[i];
       stats.call_ns[i] = instr.latency_ns(static_cast<obs::NarrowCall>(i));
@@ -165,7 +288,7 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
     stats.write_bytes = instr.write_bytes();
     if (opts_.profile) {
       stats.profiled_steps = profiler_.total_steps();
-      FillProfile(*parsed.root, 0, expr, profiler_.slots(), &stats.nodes);
+      FillProfile(root, 0, expr, profiler_.slots(), &stats.nodes);
       const std::vector<obs::NodeProfiler::Slot>& slots = profiler_.slots();
       if (!slots.empty() && slots.back().steps > 0) {
         obs::QueryStats::NodeProfile p;

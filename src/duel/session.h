@@ -15,6 +15,7 @@
 #include "src/dbg/backend.h"
 #include "src/duel/eval.h"
 #include "src/duel/evalctx.h"
+#include "src/duel/plan.h"
 #include "src/duel/value.h"
 #include "src/support/obs/metrics.h"
 #include "src/support/obs/profile.h"
@@ -27,6 +28,13 @@ struct SessionOptions {
   EvalOptions eval;
   size_t max_output_values = 100'000;  // guard against unbounded output
   size_t max_history = 100;            // query history depth (0 = off)
+
+  // Plan cache: reuse the compiled half of the pipeline (tokens + AST +
+  // annotations) across queries with the same text. Invalidation is
+  // epoch-based (see plan.h); `DUEL_PLAN_CACHE=off` in the environment
+  // disables it at construction (the CI ablation configuration).
+  bool plan_cache = true;
+  size_t plan_cache_capacity = 64;
 
   // Observability (see src/support/obs/): collect_stats assembles an
   // obs::QueryStats per query (phase timings, counter deltas, narrow-call
@@ -78,24 +86,36 @@ class Session {
   const std::vector<std::string>& history() const { return history_; }
   void ClearHistory() { history_.clear(); }
 
-  // Session-owned span tracer (parse/prebind/eval/backend.* spans while
+  // Session-owned span tracer (lex/parse/sema/eval/backend.* spans while
   // enabled; `trace on` in the REPL, -duel-trace in MI).
   obs::Tracer& tracer() { return tracer_; }
 
   // Stats of the most recent instrumented query, if any.
   const std::optional<obs::QueryStats>& last_stats() const { return last_stats_; }
 
+  // The session's compiled-query cache (`plan` in the REPL, -duel-plan in
+  // MI). Entries survive until evicted, invalidated, or cleared.
+  PlanCache& plan_cache() { return plan_cache_; }
+
  private:
   void Remember(const std::string& expr);
 
-  // Shared parse/prebind/eval pipeline. With a non-null `result`, values are
-  // formatted into it (the `duel expr` command); otherwise they are counted
-  // and discarded (benchmarks). Collects stats/profile per opts_.
+  // The staged pipeline: plan lookup/build (lex → parse → analyze), then
+  // execute. With a non-null `result`, values are formatted into it (the
+  // `duel expr` command); otherwise they are counted and discarded
+  // (benchmarks). Collects stats/profile per opts_.
   uint64_t DriveCore(const std::string& expr, QueryResult* result);
+
+  // Builds a CompiledQuery for `expr` (the text-dependent half of the work).
+  std::unique_ptr<CompiledQuery> BuildPlan(const std::string& expr, uint64_t fingerprint);
+
+  // Epoch checks for a cached plan (refreshes the alias fast path on pass).
+  bool PlanIsValid(CompiledQuery& plan);
 
   dbg::DebuggerBackend* backend_;
   SessionOptions opts_;
   EvalContext ctx_;
+  PlanCache plan_cache_;
   std::vector<std::string> history_;
   obs::Tracer tracer_;
   obs::NodeProfiler profiler_;

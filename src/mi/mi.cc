@@ -234,10 +234,57 @@ std::string MiSession::HandleCommand(const std::string& token, const std::string
     }
     return error("expected on|off|dump|clear");
   }
+  if (command == "-duel-set-plan-cache") {
+    if (rest == "on") {
+      session_.options().plan_cache = true;
+      return done();
+    }
+    if (rest == "off") {
+      session_.options().plan_cache = false;
+      return done();
+    }
+    if (rest == "clear") {
+      session_.plan_cache().Clear();
+      return done();
+    }
+    return error("expected on|off|clear");
+  }
+  if (command == "-duel-plan") {
+    if (!rest.empty()) {
+      return error("-duel-plan takes no argument");
+    }
+    PlanCache& cache = session_.plan_cache();
+    const PlanCacheCounters& pc = cache.counters();
+    std::string extra = StrPrintf(
+        ",plan-cache={enabled=\"%s\",size=\"%zu\",capacity=\"%zu\","
+        "lookups=\"%llu\",hits=\"%llu\",misses=\"%llu\",invalidations=\"%llu\","
+        "evictions=\"%llu\"}",
+        session_.options().plan_cache ? "1" : "0", cache.size(), cache.capacity(),
+        static_cast<unsigned long long>(pc.lookups), static_cast<unsigned long long>(pc.hits),
+        static_cast<unsigned long long>(pc.misses),
+        static_cast<unsigned long long>(pc.invalidations),
+        static_cast<unsigned long long>(pc.evictions));
+    extra += ",plans=[";
+    bool first = true;
+    for (const CompiledQuery* p : cache.Entries()) {
+      if (!first) {
+        extra += ",";
+      }
+      first = false;
+      extra += StrPrintf(
+          "{expr=%s,hits=\"%llu\",nodes=\"%d\",bound-names=\"%zu\",folded-nodes=\"%llu\"}",
+          MiQuote(p->text).c_str(), static_cast<unsigned long long>(p->hits),
+          p->parsed.num_nodes, p->notes.bound_names.size(),
+          static_cast<unsigned long long>(p->notes.stats.nodes_folded));
+    }
+    extra += "]";
+    return done(extra);
+  }
   if (command == "-list-features") {
     return done(
         ",features=[\"duel-evaluate\",\"duel-set-engine\",\"duel-set-symbolic\","
-        "\"duel-set-cache\",\"duel-clear-aliases\",\"duel-stats\",\"duel-trace\"]");
+        "\"duel-set-cache\",\"duel-clear-aliases\",\"duel-stats\",\"duel-trace\","
+        "\"duel-plan\",\"duel-set-plan-cache\"]");
   }
   return error("undefined MI command: " + command);
 }

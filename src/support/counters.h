@@ -40,6 +40,19 @@ struct CacheCounters {
   void Reset() { *this = CacheCounters(); }
 };
 
+// Session plan cache (duel::PlanCache): compiled-query reuse across queries.
+// lookups = hits + misses; invalidations count plans found but stale
+// (epoch/alias mismatch — a subset of misses), evictions count LRU drops.
+struct PlanCacheCounters {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+
+  void Reset() { *this = PlanCacheCounters(); }
+};
+
 struct EvalCounters {
   uint64_t eval_steps = 0;       // calls into eval() / generator resumptions
   uint64_t values_produced = 0;  // values yielded by the root expression

@@ -154,12 +154,32 @@ CacheCounters CountersDelta(const CacheCounters& before, const CacheCounters& af
   return d;
 }
 
+PlanCacheCounters CountersDelta(const PlanCacheCounters& before, const PlanCacheCounters& after) {
+  PlanCacheCounters d;
+  d.lookups = after.lookups - before.lookups;
+  d.hits = after.hits - before.hits;
+  d.misses = after.misses - before.misses;
+  d.invalidations = after.invalidations - before.invalidations;
+  d.evictions = after.evictions - before.evictions;
+  return d;
+}
+
 std::vector<std::string> QueryStats::Render() const {
   std::vector<std::string> out;
   out.push_back(StrPrintf("query: %s  [engine=%s]", query.c_str(), engine.c_str()));
-  out.push_back(StrPrintf("phases: parse=%s prebind=%s eval=%s total=%s",
-                          Ns(parse_ns).c_str(), Ns(prebind_ns).c_str(), Ns(eval_ns).c_str(),
-                          Ns(total_ns).c_str()));
+  out.push_back(StrPrintf("phases: lex=%s parse=%s sema=%s eval=%s total=%s  [plan %s]",
+                          Ns(lex_ns).c_str(), Ns(parse_ns).c_str(), Ns(sema_ns).c_str(),
+                          Ns(eval_ns).c_str(), Ns(total_ns).c_str(),
+                          plan_hit ? "cached" : "built"));
+  if (plan.lookups > 0) {
+    out.push_back(StrPrintf(
+        "plan cache: lookups=%llu hits=%llu misses=%llu invalidations=%llu evictions=%llu",
+        static_cast<unsigned long long>(plan.lookups),
+        static_cast<unsigned long long>(plan.hits),
+        static_cast<unsigned long long>(plan.misses),
+        static_cast<unsigned long long>(plan.invalidations),
+        static_cast<unsigned long long>(plan.evictions)));
+  }
   out.push_back(StrPrintf(
       "eval: steps=%llu values=%llu applies=%llu name_lookups=%llu sym_builds=%llu",
       static_cast<unsigned long long>(eval.eval_steps),
@@ -248,11 +268,19 @@ std::string QueryStats::ToJson() const {
   std::string out = "{";
   out += "\"query\":\"" + JsonEscape(query) + "\"";
   out += ",\"engine\":\"" + JsonEscape(engine) + "\"";
-  out += StrPrintf(",\"parse_ns\":%llu,\"prebind_ns\":%llu,\"eval_ns\":%llu,\"total_ns\":%llu",
-                   static_cast<unsigned long long>(parse_ns),
-                   static_cast<unsigned long long>(prebind_ns),
-                   static_cast<unsigned long long>(eval_ns),
-                   static_cast<unsigned long long>(total_ns));
+  out += StrPrintf(
+      ",\"lex_ns\":%llu,\"parse_ns\":%llu,\"sema_ns\":%llu,\"eval_ns\":%llu,\"total_ns\":%llu",
+      static_cast<unsigned long long>(lex_ns), static_cast<unsigned long long>(parse_ns),
+      static_cast<unsigned long long>(sema_ns), static_cast<unsigned long long>(eval_ns),
+      static_cast<unsigned long long>(total_ns));
+  out += StrPrintf(",\"plan_hit\":%s", plan_hit ? "true" : "false");
+  out += StrPrintf(
+      ",\"plan\":{\"lookups\":%llu,\"hits\":%llu,\"misses\":%llu,\"invalidations\":%llu,"
+      "\"evictions\":%llu}",
+      static_cast<unsigned long long>(plan.lookups), static_cast<unsigned long long>(plan.hits),
+      static_cast<unsigned long long>(plan.misses),
+      static_cast<unsigned long long>(plan.invalidations),
+      static_cast<unsigned long long>(plan.evictions));
   out += StrPrintf(",\"values\":%llu", static_cast<unsigned long long>(values));
   out += StrPrintf(
       ",\"eval\":{\"steps\":%llu,\"values\":%llu,\"applies\":%llu,\"name_lookups\":%llu,"

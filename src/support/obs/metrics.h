@@ -151,10 +151,19 @@ struct QueryStats {
   std::string query;
   std::string engine;
 
+  // Per-stage timings of the staged pipeline (lex → parse → analyze →
+  // execute). On a plan-cache hit the three build stages report 0 — they
+  // did not run; the plan was replayed.
+  uint64_t lex_ns = 0;
   uint64_t parse_ns = 0;
-  uint64_t prebind_ns = 0;
+  uint64_t sema_ns = 0;
   uint64_t eval_ns = 0;
   uint64_t total_ns = 0;
+
+  // Plan-cache outcome for this query: whether a cached CompiledQuery was
+  // reused, plus the session cache's counter delta.
+  bool plan_hit = false;
+  PlanCacheCounters plan;
 
   uint64_t values = 0;
 
@@ -194,6 +203,7 @@ struct QueryStats {
 BackendCounters CountersDelta(const BackendCounters& before, const BackendCounters& after);
 EvalCounters CountersDelta(const EvalCounters& before, const EvalCounters& after);
 CacheCounters CountersDelta(const CacheCounters& before, const CacheCounters& after);
+PlanCacheCounters CountersDelta(const PlanCacheCounters& before, const PlanCacheCounters& after);
 
 }  // namespace duel::obs
 

@@ -10,6 +10,7 @@ void SymbolTable::PushFrame(const std::string& function) {
   Frame f;
   f.function = function;
   frames_.insert(frames_.begin(), std::move(f));  // innermost first
+  ++version_;
 }
 
 void SymbolTable::AddFrameLocal(Variable v) {
@@ -17,6 +18,7 @@ void SymbolTable::AddFrameLocal(Variable v) {
     throw DuelError(ErrorKind::kInternal, "frame local added with no active frame");
   }
   frames_.front().locals.push_back(std::move(v));
+  ++version_;
 }
 
 const Variable* SymbolTable::FindVariable(const std::string& name) const {

@@ -40,8 +40,14 @@ struct Frame {
 
 class SymbolTable {
  public:
-  void AddGlobal(Variable v) { globals_.push_back(std::move(v)); }
-  void AddFunction(FunctionSym f) { functions_.push_back(std::move(f)); }
+  void AddGlobal(Variable v) {
+    globals_.push_back(std::move(v));
+    ++version_;
+  }
+  void AddFunction(FunctionSym f) {
+    functions_.push_back(std::move(f));
+    ++version_;
+  }
 
   // Pushes a new innermost frame.
   void PushFrame(const std::string& function);
@@ -57,10 +63,15 @@ class SymbolTable {
   const std::vector<Variable>& globals() const { return globals_; }
   const std::vector<FunctionSym>& functions() const { return functions_; }
 
+  // Bumped on every symbol/frame mutation; DebuggerBackend::SymbolEpoch()
+  // surfaces it so cached query plans can notice stale name bindings.
+  uint64_t version() const { return version_; }
+
  private:
   std::vector<Variable> globals_;
   std::vector<FunctionSym> functions_;
   std::vector<Frame> frames_;  // innermost first
+  uint64_t version_ = 0;
 };
 
 class TargetImage {

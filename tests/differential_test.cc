@@ -101,6 +101,14 @@ TEST_P(DifferentialTest, BaselineMatchesBothEngines) {
     ASSERT_EQ(sm.entries.size(), 1u) << expr;
     EXPECT_EQ(sm.entries[0].value, baseline_value) << expr;
     EXPECT_EQ(coro.entries[0].value, baseline_value) << expr;
+    // Cached re-run: replaying the CompiledQuery (plan cache is on by
+    // default) must still match the baseline byte for byte.
+    QueryResult sm_warm = sm_fx.session().Query(expr);
+    QueryResult coro_warm = coro_fx.session().Query(expr);
+    ASSERT_TRUE(sm_warm.ok && coro_warm.ok) << expr;
+    ASSERT_EQ(sm_warm.entries.size(), 1u) << expr;
+    EXPECT_EQ(sm_warm.entries[0].value, baseline_value) << expr << " (warm)";
+    EXPECT_EQ(coro_warm.entries[0].value, baseline_value) << expr << " (warm)";
   }
 }
 

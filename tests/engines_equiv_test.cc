@@ -18,21 +18,31 @@ void BuildRichImage(target::TargetImage& image) {
   scenarios::BuildArgv(image, {"prog", "-x"});
 }
 
-std::pair<QueryResult, QueryResult> RunBoth(const std::string& expr) {
-  std::pair<QueryResult, QueryResult> out;
+// One cold run per engine, plus a warm re-run of the same expression in the
+// same session — with the plan cache on (the default) the warm run replays
+// the cached CompiledQuery, so this doubles as a cache-transparency check.
+struct BothRuns {
+  QueryResult sm, coro;            // cold
+  QueryResult sm_warm, coro_warm;  // cached re-run
+};
+
+BothRuns RunBoth(const std::string& expr) {
+  BothRuns out;
   {
     SessionOptions opts;
     opts.collect_stats = true;
     DuelFixture fx(opts);
     BuildRichImage(fx.image());
-    out.first = fx.session().Query(expr);
+    out.sm = fx.session().Query(expr);
+    out.sm_warm = fx.session().Query(expr);
   }
   {
     SessionOptions opts = CoroOptions();
     opts.collect_stats = true;
     DuelFixture fx(opts);
     BuildRichImage(fx.image());
-    out.second = fx.session().Query(expr);
+    out.coro = fx.session().Query(expr);
+    out.coro_warm = fx.session().Query(expr);
   }
   return out;
 }
@@ -74,10 +84,17 @@ void ExpectSameCounters(const QueryResult& sm, const QueryResult& coro,
 }
 
 void ExpectEnginesAgree(const std::string& expr) {
-  auto [sm, coro] = RunBoth(expr);
+  BothRuns r = RunBoth(expr);
+  const QueryResult& sm = r.sm;
+  const QueryResult& coro = r.coro;
   EXPECT_EQ(sm.ok, coro.ok) << expr << "\nsm: " << sm.error << "\ncoro: " << coro.error;
   EXPECT_EQ(sm.lines, coro.lines) << expr;
   ExpectSameCounters(sm, coro, expr);
+  // The warm pass may differ from the cold one for stateful queries
+  // (declarations, aliases), but the two engines must still agree line for
+  // line — whether the plan was replayed from cache or rebuilt.
+  EXPECT_EQ(r.sm_warm.ok, r.coro_warm.ok) << expr << " (warm)";
+  EXPECT_EQ(r.sm_warm.lines, r.coro_warm.lines) << expr << " (warm)";
 }
 
 class CorpusTest : public ::testing::TestWithParam<const char*> {};
@@ -148,10 +165,15 @@ INSTANTIATE_TEST_SUITE_P(Corpus, CorpusTest, ::testing::ValuesIn(kCorpus));
 class StepParityTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(StepParityTest, EvalStepsIdentical) {
-  auto [sm, coro] = RunBoth(GetParam());
-  ASSERT_TRUE(sm.ok && coro.ok) << GetParam();
-  ASSERT_TRUE(sm.stats.has_value() && coro.stats.has_value());
-  EXPECT_EQ(sm.stats->eval.eval_steps, coro.stats->eval.eval_steps) << GetParam();
+  BothRuns r = RunBoth(GetParam());
+  ASSERT_TRUE(r.sm.ok && r.coro.ok) << GetParam();
+  ASSERT_TRUE(r.sm.stats.has_value() && r.coro.stats.has_value());
+  EXPECT_EQ(r.sm.stats->eval.eval_steps, r.coro.stats->eval.eval_steps) << GetParam();
+  // Step parity must survive a plan-cache replay too: the warm run pulls
+  // values through the identical annotated AST.
+  ASSERT_TRUE(r.sm_warm.stats.has_value() && r.coro_warm.stats.has_value());
+  EXPECT_EQ(r.sm_warm.stats->eval.eval_steps, r.coro_warm.stats->eval.eval_steps) << GetParam();
+  EXPECT_EQ(r.sm.stats->eval.eval_steps, r.sm_warm.stats->eval.eval_steps) << GetParam();
 }
 
 const char* kStepParityCorpus[] = {
@@ -246,9 +268,10 @@ TEST_P(RandomExprTest, EnginesAgreeOnGeneratedExpressions) {
   RandomExprGen gen(GetParam());
   for (int i = 0; i < 20; ++i) {
     std::string expr = gen.Gen(3);
-    auto [sm, coro] = RunBoth(expr);
-    ASSERT_EQ(sm.ok, coro.ok) << expr << "\nsm: " << sm.error << "\ncoro: " << coro.error;
-    ASSERT_EQ(sm.lines, coro.lines) << expr;
+    BothRuns r = RunBoth(expr);
+    ASSERT_EQ(r.sm.ok, r.coro.ok) << expr << "\nsm: " << r.sm.error << "\ncoro: " << r.coro.error;
+    ASSERT_EQ(r.sm.lines, r.coro.lines) << expr;
+    ASSERT_EQ(r.sm_warm.lines, r.coro_warm.lines) << expr << " (warm)";
   }
 }
 

@@ -70,6 +70,34 @@ TEST_F(MiTest, ClearAliases) {
 TEST_F(MiTest, ListFeatures) {
   std::string r = mi_.Handle("-list-features");
   EXPECT_NE(r.find("duel-evaluate"), std::string::npos);
+  EXPECT_NE(r.find("duel-plan"), std::string::npos);
+  EXPECT_NE(r.find("duel-set-plan-cache"), std::string::npos);
+}
+
+TEST_F(MiTest, PlanIntrospection) {
+  // Pin the cache on regardless of the DUEL_PLAN_CACHE ablation env.
+  mi_.Handle("-duel-set-plan-cache on");
+  mi_.Handle("-duel-evaluate \"x[..3] >? 0\"");
+  mi_.Handle("-duel-evaluate \"x[..3] >? 0\"");
+  std::string r = mi_.Handle("-duel-plan");
+  EXPECT_TRUE(r.rfind("^done,plan-cache={", 0) == 0) << r;
+  EXPECT_NE(r.find("hits=\"1\""), std::string::npos) << r;
+  EXPECT_NE(r.find("misses=\"1\""), std::string::npos) << r;
+  EXPECT_NE(r.find("{expr=\"x[..3] >? 0\",hits=\"1\""), std::string::npos) << r;
+
+  EXPECT_EQ(mi_.Handle("-duel-set-plan-cache clear"), "^done\n(gdb)\n");
+  std::string cleared = mi_.Handle("-duel-plan");
+  EXPECT_NE(cleared.find("size=\"0\""), std::string::npos) << cleared;
+  EXPECT_TRUE(mi_.Handle("-duel-set-plan-cache sideways").rfind("^error", 0) == 0);
+}
+
+TEST_F(MiTest, PlanCacheOffStopsCaching) {
+  mi_.Handle("-duel-set-plan-cache off");
+  mi_.Handle("-duel-evaluate \"1+1\"");
+  mi_.Handle("-duel-evaluate \"1+1\"");
+  std::string r = mi_.Handle("-duel-plan");
+  EXPECT_NE(r.find("enabled=\"0\""), std::string::npos) << r;
+  EXPECT_NE(r.find("lookups=\"0\""), std::string::npos) << r;
 }
 
 TEST_F(MiTest, UndefinedCommands) {

@@ -1,0 +1,218 @@
+// Plan-cache behaviour: hits and misses, epoch-based invalidation (frame
+// switches, target calls, alias redefinition), fingerprinting of
+// compilation-relevant options, and output equivalence with the cache on
+// vs off on both engines.
+
+#include <gtest/gtest.h>
+
+#include "src/duel/plan.h"
+#include "tests/duel_test_util.h"
+
+namespace duel {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest() {
+    // Force the cache on after construction: the CI ablation sets
+    // DUEL_PLAN_CACHE=off in the environment, which flips the constructor
+    // default — these tests pin the behaviour they each exercise.
+    fx_.session().options().plan_cache = true;
+    fx_.session().options().collect_stats = true;
+  }
+
+  const PlanCacheCounters& counters() { return fx_.session().plan_cache().counters(); }
+
+  DuelFixture fx_;
+};
+
+TEST_F(PlanTest, RepeatQueryHitsCache) {
+  scenarios::BuildIntArray(fx_.image(), "x", {1, 2, 3});
+  std::vector<std::string> cold = fx_.Lines("x[..3] >? 1");
+  EXPECT_FALSE(fx_.session().last_stats()->plan_hit);
+  EXPECT_GT(fx_.session().last_stats()->parse_ns, 0u);
+
+  std::vector<std::string> warm = fx_.Lines("x[..3] >? 1");
+  EXPECT_EQ(cold, warm);
+  const obs::QueryStats& stats = *fx_.session().last_stats();
+  EXPECT_TRUE(stats.plan_hit);
+  // The build stages did not run on the hit.
+  EXPECT_EQ(stats.lex_ns, 0u);
+  EXPECT_EQ(stats.parse_ns, 0u);
+  EXPECT_EQ(stats.sema_ns, 0u);
+  EXPECT_EQ(counters().lookups, 2u);
+  EXPECT_EQ(counters().hits, 1u);
+  EXPECT_EQ(counters().misses, 1u);
+}
+
+TEST_F(PlanTest, DifferentTextMisses) {
+  fx_.Lines("1+1");
+  fx_.Lines("1+2");
+  EXPECT_EQ(counters().hits, 0u);
+  EXPECT_EQ(counters().misses, 2u);
+  EXPECT_EQ(fx_.session().plan_cache().size(), 2u);
+}
+
+TEST_F(PlanTest, OptionFingerprintSeparatesPlans) {
+  // sym_mode affects what constant folding bakes into the plan, so flipping
+  // it must compile a fresh plan rather than reuse (or invalidate) the old.
+  fx_.Lines("2*3+1");
+  fx_.session().options().eval.sym_mode = EvalOptions::SymMode::kOff;
+  fx_.Lines("2*3+1");
+  EXPECT_EQ(counters().hits, 0u);
+  EXPECT_EQ(counters().misses, 2u);
+  EXPECT_EQ(counters().invalidations, 0u);
+  EXPECT_EQ(fx_.session().plan_cache().size(), 2u);
+
+  // And each variant hits its own entry afterwards.
+  fx_.Lines("2*3+1");
+  fx_.session().options().eval.sym_mode = EvalOptions::SymMode::kOn;
+  fx_.Lines("2*3+1");
+  EXPECT_EQ(counters().hits, 2u);
+}
+
+TEST_F(PlanTest, FrameSwitchInvalidates) {
+  scenarios::BuildIntArray(fx_.image(), "x", {7});
+  fx_.Lines("x[0]");
+  fx_.image().symbols().PushFrame("handler");
+  fx_.Lines("x[0]");
+  EXPECT_EQ(counters().invalidations, 1u);
+  EXPECT_EQ(counters().hits, 0u);
+}
+
+TEST_F(PlanTest, SymbolTableMutationInvalidates) {
+  fx_.Lines("1+1");
+  scenarios::BuildIntArray(fx_.image(), "fresh", {1});  // AddGlobal bumps the epoch
+  fx_.Lines("1+1");
+  EXPECT_EQ(counters().invalidations, 1u);
+}
+
+TEST_F(PlanTest, TargetCallInvalidatesOtherPlans) {
+  scenarios::BuildIntArray(fx_.image(), "x", {7});
+  fx_.Lines("x[0]");
+  // A target call moves the mutation epoch; the printf query's own plan
+  // refreshes itself after its run, but x[0]'s plan is now stale.
+  fx_.Lines("printf(\"%d\", 1) ;");
+  fx_.Lines("x[0]");
+  EXPECT_EQ(counters().invalidations, 1u);
+
+  // The printf plan itself survived its own call: re-running it hits.
+  fx_.Lines("printf(\"%d\", 1) ;");
+  EXPECT_TRUE(fx_.session().last_stats()->plan_hit);
+}
+
+TEST_F(PlanTest, AliasRedefinitionInvalidatesBoundPlan) {
+  scenarios::BuildIntArray(fx_.image(), "x", {7});
+  fx_.session().options().eval.prebind = true;
+  EXPECT_EQ(fx_.One("x[0]"), "x[0] = 7");
+
+  // An alias now shadows the prebound name: the cached binding is stale. A
+  // stale plan replayed here would wrongly keep printing 7; the rebuilt one
+  // sees the alias (a plain int, not indexable) instead.
+  fx_.Lines("x := 41 ;");
+  EXPECT_EQ(fx_.One("x + 1"), "x+1 = 42");
+  QueryResult shadowed = fx_.session().Query("x[0]");
+  EXPECT_FALSE(shadowed.ok);
+  EXPECT_GE(counters().invalidations, 1u);
+
+  // Unshadowing restores the target variable (via the dynamic lookup path).
+  fx_.session().ClearAliases();
+  EXPECT_EQ(fx_.One("x[0]"), "x[0] = 7");
+}
+
+TEST_F(PlanTest, AliasChurnLeavesUnboundPlansAlone) {
+  // With prebind off no plan holds name bindings, so alias-heavy sessions
+  // keep their whole cache warm.
+  fx_.Lines("1+1");
+  fx_.Lines("v := 5 ;");
+  fx_.Lines("1+1");
+  EXPECT_TRUE(fx_.session().last_stats()->plan_hit);
+  EXPECT_EQ(counters().invalidations, 0u);
+}
+
+TEST_F(PlanTest, CacheOffNeverLooksUp) {
+  fx_.session().options().plan_cache = false;
+  fx_.Lines("1+1");
+  fx_.Lines("1+1");
+  EXPECT_EQ(counters().lookups, 0u);
+  EXPECT_EQ(fx_.session().plan_cache().size(), 0u);
+}
+
+TEST_F(PlanTest, LruEvictionAtCapacity) {
+  fx_.session().plan_cache().set_capacity(2);
+  fx_.Lines("1");
+  fx_.Lines("2");
+  fx_.Lines("3");  // evicts "1"
+  EXPECT_EQ(counters().evictions, 1u);
+  fx_.Lines("2");  // still cached (was MRU when "3" arrived)
+  EXPECT_TRUE(fx_.session().last_stats()->plan_hit);
+  fx_.Lines("1");  // evicted: rebuilt
+  EXPECT_FALSE(fx_.session().last_stats()->plan_hit);
+}
+
+TEST_F(PlanTest, ProfileIdenticalCachedAndUncached) {
+  scenarios::BuildIntArray(fx_.image(), "x", {3, 1, 4, 1, 5});
+  fx_.session().options().profile = true;
+  QueryResult cold = fx_.session().Query("x[..5] >? 1");
+  QueryResult warm = fx_.session().Query("x[..5] >? 1");
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(warm.ok);
+  ASSERT_TRUE(cold.stats.has_value());
+  ASSERT_TRUE(warm.stats.has_value());
+  EXPECT_FALSE(cold.stats->plan_hit);
+  EXPECT_TRUE(warm.stats->plan_hit);
+  // Stable node ids: the per-node step profile is identical whether the
+  // plan was built or replayed.
+  EXPECT_EQ(cold.stats->profiled_steps, warm.stats->profiled_steps);
+  ASSERT_EQ(cold.stats->nodes.size(), warm.stats->nodes.size());
+  for (size_t i = 0; i < cold.stats->nodes.size(); ++i) {
+    EXPECT_EQ(cold.stats->nodes[i].node_id, warm.stats->nodes[i].node_id);
+    EXPECT_EQ(cold.stats->nodes[i].op, warm.stats->nodes[i].op);
+    EXPECT_EQ(cold.stats->nodes[i].steps, warm.stats->nodes[i].steps) << "node " << i;
+  }
+}
+
+// The cache must be semantically invisible: identical output with the cache
+// on vs off, on both engines, including across stateful queries (aliases,
+// declared variables) and repeated runs.
+class PlanEquivalenceTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(PlanEquivalenceTest, OutputIdenticalCacheOnAndOff) {
+  SessionOptions on_opts;
+  on_opts.engine = GetParam();
+  SessionOptions off_opts = on_opts;
+  DuelFixture cached(on_opts);
+  DuelFixture uncached(off_opts);
+  cached.session().options().plan_cache = true;
+  uncached.session().options().plan_cache = false;
+  for (DuelFixture* fx : {&cached, &uncached}) {
+    scenarios::BuildIntArray(fx->image(), "x", {5, 0, 7, 2});
+    scenarios::BuildList(fx->image(), "L", {10, 20, 30});
+  }
+
+  const char* queries[] = {
+      "x[..4] >? 1",
+      "int total ;",
+      "total += x[..4] ;",
+      "total",
+      "#/(x[..4] > 2)",
+      "L-->next->value",
+      "x[..4] >? 1",  // repeat: warm on one side, rebuilt on the other
+      "L-->next->value",
+      "total",
+  };
+  for (const char* q : queries) {
+    QueryResult a = cached.session().Query(q);
+    QueryResult b = uncached.session().Query(q);
+    EXPECT_EQ(a.ok, b.ok) << q;
+    EXPECT_EQ(a.lines, b.lines) << q;
+  }
+  EXPECT_GT(cached.session().plan_cache().counters().hits, 0u);
+  EXPECT_EQ(uncached.session().plan_cache().counters().lookups, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, PlanEquivalenceTest,
+                         ::testing::Values(EngineKind::kStateMachine, EngineKind::kCoroutine));
+
+}  // namespace
+}  // namespace duel
