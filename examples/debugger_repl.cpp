@@ -53,10 +53,57 @@ void BuildDebuggee(target::TargetImage& image) {
   scenarios::BuildFrames(image, 3);
 }
 
+// `--check FILE` batch lint mode: loads the scenario, then statically checks
+// every `##query:` line in the file against its symbols. Prints one block per
+// diagnostic; exit status 1 when any query has a hard error (CI-friendly).
+int RunBatchCheck(const char* path) {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  try {
+    scenarios::LoadScenarioFile(image, path);
+  } catch (const DuelError& e) {
+    std::cerr << "error loading " << path << ": " << e.what() << "\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  dbg::SimBackend sim(image);
+  Session session(sim);
+  size_t queries = 0, errors = 0, warnings = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t at = line.find_first_not_of(" \t");
+    if (at == std::string::npos || line.compare(at, 8, "##query:") != 0) {
+      continue;
+    }
+    std::string expr = line.substr(at + 8);
+    while (!expr.empty() && (expr.front() == ' ' || expr.front() == '\t')) {
+      expr.erase(expr.begin());
+    }
+    queries++;
+    QueryResult r = session.Check(expr);
+    for (const Diag& d : r.diags) {
+      (d.severity == Severity::kError ? errors : warnings)++;
+      std::cout << path << ": in `" << expr << "`:\n";
+      for (const std::string& l : RenderDiag(expr, d)) {
+        std::cout << "  " << l << "\n";
+      }
+    }
+  }
+  std::cout << path << ": " << queries << " queries checked, " << errors
+            << " errors, " << warnings << " warnings\n";
+  return errors > 0 ? 1 : 0;
+}
+
 void PrintHelp() {
   std::cout <<
       "commands:\n"
       "  duel EXPR       evaluate a DUEL expression\n"
+      "  check EXPR      statically check a DUEL expression (no evaluation)\n"
+      "  warn on|off|error  warning mode: report, discard, or reject the query\n"
       "  print EXPR      conventional debugger evaluation (no generators)\n"
       "  mi LINE         raw machine-interface command (-duel-evaluate \"...\")\n"
       "  engine sm|coro  choose the evaluation engine\n"
@@ -91,6 +138,13 @@ void PrintHelp() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--check") {
+    if (argc < 3) {
+      std::cerr << "usage: debugger_repl --check SCENARIO\n";
+      return 2;
+    }
+    return RunBatchCheck(argv[2]);
+  }
   target::TargetImage image;
   if (argc > 1) {
     // Load the debuggee from a scenario description file instead.
@@ -176,6 +230,15 @@ int main(int argc, char** argv) {
       PrintHelp();
     } else if (cmd == "duel") {
       QueryResult r = session.Query(rest);
+      // Warnings come from the check stage, before any value; print them
+      // first. The rejected-query error is already part of Text().
+      for (const Diag& d : r.diags) {
+        if (d.severity == Severity::kWarning) {
+          for (const std::string& l : RenderDiag(rest, d)) {
+            std::cout << l << "\n";
+          }
+        }
+      }
       std::cout << r.Text();
       std::cout << image.TakeOutput();  // anything the target's printf wrote
       if (r.stats.has_value() && session.options().collect_stats) {
@@ -183,6 +246,31 @@ int main(int argc, char** argv) {
           std::cout << "  | " << l << "\n";
         }
       }
+    } else if (cmd == "check") {
+      if (rest.empty()) {
+        std::cout << "usage: check EXPR\n";
+        continue;
+      }
+      QueryResult r = session.Check(rest);
+      if (r.diags.empty()) {
+        std::cout << "ok\n";
+      }
+      for (const Diag& d : r.diags) {
+        for (const std::string& l : RenderDiag(rest, d)) {
+          std::cout << l << "\n";
+        }
+      }
+    } else if (cmd == "warn") {
+      if (rest != "on" && rest != "off" && rest != "error") {
+        std::cout << "usage: warn on|off|error\n";
+        continue;
+      }
+      WarnMode mode = rest == "off"     ? WarnMode::kOff
+                      : rest == "error" ? WarnMode::kError
+                                        : WarnMode::kOn;
+      local_session.options().warn = mode;
+      remote_session.options().warn = mode;
+      std::cout << "warn: " << rest << "\n";
     } else if (cmd == "stats") {
       if (rest == "on" || rest == "off") {
         bool on = rest == "on";

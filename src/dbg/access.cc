@@ -57,6 +57,8 @@ void MemoryAccess::BeginQuery() {
   backend_->BeginQueryEpoch();
 }
 
+void MemoryAccess::BeginQueryData() { DropBlocks(); }
+
 void MemoryAccess::Invalidate() {
   counters_.invalidations++;
   DropBlocks();

@@ -62,6 +62,12 @@ class MemoryAccess {
   // backend drop its own client-side caches (symbols, types, frames).
   void BeginQuery();
 
+  // The data half of BeginQuery: drops cached blocks without touching the
+  // backend's client-side caches. For callers that already refreshed the
+  // symbol view this epoch (the check stage runs before any data is read;
+  // its symbol lookups stay memoized into evaluation).
+  void BeginQueryData();
+
   // Drops cached data blocks (write-through keeps them fresh inside a query;
   // this is for events that can mutate memory behind the cache's back).
   void Invalidate();

@@ -235,7 +235,7 @@ Op FilterToComparison(Op op) {
   }
 }
 
-bool ApplyComparison(EvalContext& ctx, Op op, const Value& va, const Value& vb,
+bool ApplyComparisonImpl(EvalContext& ctx, Op op, const Value& va, const Value& vb,
                      SourceRange range) {
   ctx.counters().applies++;
   Value a = ctx.Rvalue(va);
@@ -303,7 +303,7 @@ bool ApplyComparison(EvalContext& ctx, Op op, const Value& va, const Value& vb,
   }
 }
 
-Value ApplyBinary(EvalContext& ctx, Op op, const Value& va, const Value& vb, SourceRange range) {
+Value ApplyBinaryImpl(EvalContext& ctx, Op op, const Value& va, const Value& vb, SourceRange range) {
   ctx.counters().applies++;
   if (IsComparisonOp(op)) {
     bool r = ApplyComparison(ctx, op, va, vb, range);
@@ -427,7 +427,7 @@ Value ApplyBinary(EvalContext& ctx, Op op, const Value& va, const Value& vb, Sou
   return Value::Int(common, static_cast<int64_t>(MaskTo(r, size)), std::move(sym));
 }
 
-Value ApplyUnary(EvalContext& ctx, Op op, const Value& v, SourceRange range) {
+Value ApplyUnaryImpl(EvalContext& ctx, Op op, const Value& v, SourceRange range) {
   ctx.counters().applies++;
   auto usym = [&](const char* text) {
     if (!ctx.sym_on()) {
@@ -497,7 +497,7 @@ Value ApplyUnary(EvalContext& ctx, Op op, const Value& v, SourceRange range) {
   }
 }
 
-Value ApplyIndex(EvalContext& ctx, const Value& base, const Value& index, SourceRange range) {
+Value ApplyIndexImpl(EvalContext& ctx, const Value& base, const Value& index, SourceRange range) {
   ctx.counters().applies++;
   Value b = ctx.Rvalue(base);  // decays arrays
   Value idx = index;
@@ -522,7 +522,7 @@ Value ApplyIndex(EvalContext& ctx, const Value& base, const Value& index, Source
   return Value::LV(elem, addr, std::move(sym));
 }
 
-Value ApplyCast(EvalContext& ctx, const TypeRef& type, const Value& v, SourceRange range) {
+Value ApplyCastImpl(EvalContext& ctx, const TypeRef& type, const Value& v, SourceRange range) {
   ctx.counters().applies++;
   Sym sym = ctx.sym_on()
                 ? Sym::Plain("(" + type->ToString() + ")" + v.sym().TextAsOperand(kPrecUnary),
@@ -560,7 +560,7 @@ Value ApplyCast(EvalContext& ctx, const TypeRef& type, const Value& v, SourceRan
   throw DuelError(ErrorKind::kType, "unsupported cast to " + type->ToString(), range);
 }
 
-Value ApplyAssign(EvalContext& ctx, Op op, const Value& lhs, const Value& rhs,
+Value ApplyAssignImpl(EvalContext& ctx, Op op, const Value& lhs, const Value& rhs,
                   SourceRange range) {
   ctx.counters().applies++;
   if (op == Op::kAssign) {
@@ -590,7 +590,7 @@ Value ApplyAssign(EvalContext& ctx, Op op, const Value& lhs, const Value& rhs,
   return result;
 }
 
-Value ApplyIncDec(EvalContext& ctx, Op op, const Value& v, SourceRange range) {
+Value ApplyIncDecImpl(EvalContext& ctx, Op op, const Value& v, SourceRange range) {
   ctx.counters().applies++;
   if (!v.is_lvalue()) {
     throw DuelError(ErrorKind::kType, "'++'/'--' need an lvalue", range);
@@ -624,6 +624,81 @@ Value ApplyIncDec(EvalContext& ctx, Op op, const Value& v, SourceRange range) {
   Value result = pre ? next : old;
   result.set_sym(std::move(sym));
   return result;
+}
+
+// --- public entry points -----------------------------------------------------
+//
+// Thin wrappers that stamp the operator node's source range onto any error
+// escaping the operator implementation (value conversion, loads, stores —
+// helpers that throw without knowing where in the query they were called
+// from). DuelError::set_range is first-writer-wins, so throw sites that
+// already carry a precise inner range keep it. Both engines funnel through
+// these same wrappers, which is what makes their error spans identical.
+
+bool ApplyComparison(EvalContext& ctx, Op op, const Value& va, const Value& vb,
+                     SourceRange range) {
+  try {
+    return ApplyComparisonImpl(ctx, op, va, vb, range);
+  } catch (DuelError& e) {
+    e.set_range(range);
+    throw;
+  }
+}
+
+Value ApplyBinary(EvalContext& ctx, Op op, const Value& va, const Value& vb,
+                  SourceRange range) {
+  try {
+    return ApplyBinaryImpl(ctx, op, va, vb, range);
+  } catch (DuelError& e) {
+    e.set_range(range);
+    throw;
+  }
+}
+
+Value ApplyUnary(EvalContext& ctx, Op op, const Value& v, SourceRange range) {
+  try {
+    return ApplyUnaryImpl(ctx, op, v, range);
+  } catch (DuelError& e) {
+    e.set_range(range);
+    throw;
+  }
+}
+
+Value ApplyIndex(EvalContext& ctx, const Value& base, const Value& index, SourceRange range) {
+  try {
+    return ApplyIndexImpl(ctx, base, index, range);
+  } catch (DuelError& e) {
+    e.set_range(range);
+    throw;
+  }
+}
+
+Value ApplyCast(EvalContext& ctx, const TypeRef& type, const Value& v, SourceRange range) {
+  try {
+    return ApplyCastImpl(ctx, type, v, range);
+  } catch (DuelError& e) {
+    e.set_range(range);
+    throw;
+  }
+}
+
+Value ApplyAssign(EvalContext& ctx, Op op, const Value& lhs, const Value& rhs,
+                  SourceRange range) {
+  try {
+    return ApplyAssignImpl(ctx, op, lhs, rhs, range);
+  } catch (DuelError& e) {
+    e.set_range(range);
+    throw;
+  }
+}
+
+Value ApplyIncDec(EvalContext& ctx, Op op, const Value& v, SourceRange range) {
+  try {
+    return ApplyIncDecImpl(ctx, op, v, range);
+  } catch (DuelError& e) {
+    e.set_range(range);
+    throw;
+  }
 }
 
 }  // namespace duel

@@ -1,0 +1,997 @@
+#include "src/duel/check.h"
+
+#include <optional>
+#include <set>
+
+#include "src/duel/apply.h"
+#include "src/duel/eval_util.h"
+#include "src/support/strings.h"
+
+namespace duel {
+
+namespace {
+
+using target::TypeKind;
+using target::TypeRef;
+
+bool IsPtrish(const TypeRef& t) {
+  return t->kind() == TypeKind::kPointer || t->kind() == TypeKind::kArray;
+}
+
+// Pointee for pointers, element type for arrays (the decayed view).
+const TypeRef& PointeeOf(const TypeRef& t) { return t->target(); }
+
+// The record a with-scope over `t` exposes members of: a record directly,
+// or through one pointer (LookupInScope accepts both for '.' and '->').
+TypeRef RecordOf(const TypeRef& t) {
+  if (t->IsRecord()) {
+    return t;
+  }
+  if (t->kind() == TypeKind::kPointer && t->target()->IsRecord()) {
+    return t->target();
+  }
+  return nullptr;
+}
+
+// Literal integer value of a node, through unary +/- (enough for the
+// div-by-zero and array-bound rules; folding proper lives in sema).
+std::optional<int64_t> ConstIntOf(const Node& n) {
+  switch (n.op) {
+    case Op::kIntConst:
+    case Op::kCharConst:
+      return static_cast<int64_t>(n.int_value);
+    case Op::kNeg:
+      if (std::optional<int64_t> v = ConstIntOf(*n.kids[0])) {
+        return -*v;
+      }
+      return std::nullopt;
+    case Op::kPos:
+      return ConstIntOf(*n.kids[0]);
+    default:
+      return std::nullopt;
+  }
+}
+
+Op CompoundBase(Op op) {
+  switch (op) {
+    case Op::kMulEq: return Op::kMul;
+    case Op::kDivEq: return Op::kDiv;
+    case Op::kModEq: return Op::kMod;
+    case Op::kAddEq: return Op::kAdd;
+    case Op::kSubEq: return Op::kSub;
+    case Op::kShlEq: return Op::kShl;
+    case Op::kShrEq: return Op::kShr;
+    case Op::kAndEq: return Op::kBitAnd;
+    case Op::kXorEq: return Op::kBitXor;
+    case Op::kOrEq: return Op::kBitOr;
+    default: return op;
+  }
+}
+
+bool IsArithBinary(Op op) {
+  switch (op) {
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kBitAnd:
+    case Op::kBitXor:
+    case Op::kBitOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsComparison(Op op) {
+  switch (op) {
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kLe:
+    case Op::kGe:
+    case Op::kEq:
+    case Op::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// What the inference walk knows about one subexpression. `type == nullptr`
+// means unknown, and unknown silences every rule that consumes it.
+struct Inf {
+  TypeRef type;
+  enum class Lv { kNo, kYes, kUnknown } lv = Lv::kUnknown;
+  bool many = false;          // can yield more than one value
+  bool side_effects = false;  // assignment / ++ / -- / target call inside
+};
+
+using Lv = Inf::Lv;
+
+// A with-scope as the checker sees it: `known == false` makes the scope
+// opaque (frames, aliases, anything dynamic) — every name below resolves to
+// unknown, because the scope could bind it at run time.
+struct ScopeInfo {
+  TypeRef subject;  // null when !known
+  bool known = false;
+};
+
+class Checker {
+ public:
+  Checker(EvalContext& ctx, const Annotations* notes, CheckResult& out)
+      : ctx_(&ctx), notes_(notes), out_(&out) {}
+
+  void Run(const Node& root) {
+    CollectDefined(root);
+    Walk(root);
+  }
+
+ private:
+  // In a conditionally-evaluated subtree (a `?:` arm, an `if` branch, the
+  // right side of `&&`/`||`, a loop body, a filter predicate) the runtime may
+  // never reach the offending operation, so a "definite" error is only
+  // definite if that code runs. Demoting to a warning there keeps the
+  // soundness contract: never reject a query the engines would evaluate
+  // successfully.
+  void Error(const Node& n, const char* rule, std::string message, std::string fixit = "") {
+    out_->diags.push_back({conditional_ ? Severity::kWarning : Severity::kError,
+                           rule, n.range, std::move(message), std::move(fixit)});
+  }
+  void Warn(const Node& n, const char* rule, std::string message, std::string fixit = "") {
+    out_->diags.push_back(
+        {Severity::kWarning, rule, n.range, std::move(message), std::move(fixit)});
+  }
+
+  // Mirrors sema's CollectDefinedNames: anything the query itself can
+  // (re)define resolves dynamically, so the walk treats it as unknown.
+  void CollectDefined(const Node& n) {
+    if (n.op == Op::kDefine || n.op == Op::kIndexAlias) {
+      defined_.insert(n.text);
+    }
+    if (n.op == Op::kDecl) {
+      for (const DeclItem& d : n.decls) {
+        defined_.insert(d.name);
+      }
+    }
+    for (const NodePtr& k : n.kids) {
+      CollectDefined(*k);
+    }
+  }
+
+  void NoteName(const std::string& name, bool was_alias) {
+    if (noted_.insert(name).second) {
+      out_->names.emplace_back(name, was_alias);
+    }
+  }
+
+  // Name resolution, statically mirroring EvalContext::LookupName: scopes
+  // innermost first, then aliases, target variables, functions, enumerators.
+  // An opaque scope ends the search with "unknown" — it could bind anything.
+  Inf InferName(const Node& n) {
+    for (size_t i = scopes_.size(); i-- > 0;) {
+      const ScopeInfo& s = scopes_[i];
+      if (!s.known) {
+        return {};
+      }
+      if (TypeRef rec = RecordOf(s.subject)) {
+        if (const target::Member* m = rec->FindMember(n.text)) {
+          Inf r;
+          r.type = m->type;
+          r.lv = Lv::kYes;
+          return r;
+        }
+      }
+      // A known non-record subject exposes no members; resolution continues
+      // outward exactly as LookupInScope's nullopt does.
+    }
+    if (defined_.count(n.text) != 0) {
+      return {};  // bound by the query itself, per value
+    }
+    bool was_alias = ctx_->aliases().Has(n.text);
+    NoteName(n.text, was_alias);
+    if (was_alias) {
+      const Value* a = ctx_->aliases().Find(n.text);
+      Inf r;
+      r.type = a->type();
+      r.lv = a->is_lvalue() ? Lv::kYes : Lv::kNo;
+      return r;
+    }
+    if (auto v = ctx_->backend().GetTargetVariable(n.text)) {
+      Inf r;
+      r.type = v->type;
+      r.lv = Lv::kYes;
+      return r;
+    }
+    if (auto f = ctx_->backend().GetTargetFunction(n.text)) {
+      Inf r;
+      r.type = f->type;
+      r.lv = Lv::kYes;
+      return r;
+    }
+    if (auto e = ctx_->backend().GetTargetEnumerator(n.text)) {
+      Inf r;
+      r.type = e->type;
+      r.lv = Lv::kNo;
+      return r;
+    }
+    Error(n, "unknown-name", "unknown name '" + n.text + "'");
+    return {};
+  }
+
+  TypeRef ResolveSpec(const Node& n) {
+    if (const NodeInfo* info = notes_ == nullptr ? nullptr : notes_->Get(n.id);
+        info != nullptr && info->resolved_type != nullptr) {
+      return info->resolved_type;
+    }
+    try {
+      return ctx_->ResolveTypeSpec(n.type_spec, n.range);
+    } catch (const DuelError& e) {
+      Error(n, "unknown-type", e.what());
+      return nullptr;
+    }
+  }
+
+  void WarnAssignInCondition(const Node& cond) {
+    if (cond.op == Op::kAssign) {
+      Warn(cond, "assign-in-condition",
+           "'=' in a condition assigns and tests the stored value",
+           "did you mean '=='?");
+    }
+  }
+
+  // Bound checks for e1[e2] when e1's declared type is an array: literal
+  // indices, `[..n]` prefix ranges and `[lo..hi]` ranges past the end.
+  void CheckArrayBounds(const Node& n, const TypeRef& array) {
+    const size_t count = array->array_count();
+    if (count == 0) {
+      return;
+    }
+    const Node& idx = *n.kids[1];
+    auto past_end = [&](int64_t i) { return i < 0 || static_cast<uint64_t>(i) >= count; };
+    if (std::optional<int64_t> i = ConstIntOf(idx)) {
+      if (past_end(*i)) {
+        Warn(idx, "array-bound",
+             StrPrintf("index %lld is past the end of %s (%zu elements)",
+                       static_cast<long long>(*i), array->ToString().c_str(), count),
+             StrPrintf("valid indices are 0..%zu", count - 1));
+      }
+      return;
+    }
+    if (idx.op == Op::kToPrefix) {
+      if (std::optional<int64_t> hi = ConstIntOf(*idx.kids[0]);
+          hi.has_value() && *hi > static_cast<int64_t>(count)) {
+        Warn(idx, "array-bound",
+             StrPrintf("[..%lld] reads %lld elements but %s has %zu",
+                       static_cast<long long>(*hi), static_cast<long long>(*hi),
+                       array->ToString().c_str(), count),
+             StrPrintf("use [..%zu] to cover the whole array", count));
+      }
+      return;
+    }
+    if (idx.op == Op::kTo && idx.kids.size() == 2) {
+      if (std::optional<int64_t> hi = ConstIntOf(*idx.kids[1]);
+          hi.has_value() && past_end(*hi)) {
+        Warn(idx, "array-bound",
+             StrPrintf("range ends at %lld, past the end of %s (%zu elements)",
+                       static_cast<long long>(*hi), array->ToString().c_str(), count),
+             StrPrintf("valid indices are 0..%zu", count - 1));
+      }
+    }
+  }
+
+  // The right operand of a product-style operator restarts for every value
+  // of the left; a side effect in it runs once per left value.
+  void WarnSideEffectReEval(const Node& n, const Inf& left, const Inf& right) {
+    if (left.many && right.side_effects) {
+      Warn(*n.kids[1], "side-effect-reeval",
+           StrPrintf("the right operand of '%s' is re-evaluated for every value of the "
+                     "left operand and has side effects",
+                     BinOpText(n.op)),
+           "hoist the side effect into an alias (name := expr) before the operator");
+    }
+  }
+
+  // Statically mirrors ApplyBinary's type dispatch for an arithmetic binary
+  // op. Returns the result type (null = unknown).
+  TypeRef CheckArith(const Node& n, Op op, const Inf& a, const Inf& b) {
+    if (a.type == nullptr || b.type == nullptr) {
+      return nullptr;
+    }
+    TypeRef ta = a.type->kind() == TypeKind::kArray
+                     ? ctx_->types().PointerTo(PointeeOf(a.type))
+                     : a.type;
+    TypeRef tb = b.type->kind() == TypeKind::kArray
+                     ? ctx_->types().PointerTo(PointeeOf(b.type))
+                     : b.type;
+    auto invalid = [&]() {
+      Error(n, "invalid-operands",
+            StrPrintf("invalid operands to '%s' (%s and %s)", BinOpText(op),
+                      ta->ToString().c_str(), tb->ToString().c_str()));
+      return TypeRef();
+    };
+    if (ta->kind() == TypeKind::kPointer || tb->kind() == TypeKind::kPointer) {
+      if (op == Op::kAdd && ta->kind() == TypeKind::kPointer && tb->IsInteger()) {
+        return ta;
+      }
+      if (op == Op::kAdd && tb->kind() == TypeKind::kPointer && ta->IsInteger()) {
+        return tb;
+      }
+      if (op == Op::kSub && ta->kind() == TypeKind::kPointer && tb->IsInteger()) {
+        return ta;
+      }
+      if (op == Op::kSub && ta->kind() == TypeKind::kPointer &&
+          tb->kind() == TypeKind::kPointer) {
+        if (ta->target()->size() == 0) {
+          return invalid();
+        }
+        return ctx_->types().Long();
+      }
+      return invalid();
+    }
+    if (!ta->IsArithmetic() || !tb->IsArithmetic()) {
+      return invalid();
+    }
+    bool floating = ta->IsFloating() || tb->IsFloating();
+    switch (op) {
+      case Op::kMod:
+      case Op::kShl:
+      case Op::kShr:
+      case Op::kBitAnd:
+      case Op::kBitXor:
+      case Op::kBitOr:
+        if (floating) {
+          return invalid();
+        }
+        break;
+      default:
+        break;
+    }
+    if (op == Op::kDiv || op == Op::kMod) {
+      if (std::optional<int64_t> z = ConstIntOf(*n.kids[1]);
+          z.has_value() && *z == 0 && !floating) {
+        Error(n, "div-by-zero",
+              std::string(op == Op::kDiv ? "division" : "modulo") + " by zero");
+        return nullptr;
+      }
+    }
+    if (floating) {
+      return ctx_->types().Double();
+    }
+    return ta->size() >= tb->size() ? ta : tb;  // rank approximation
+  }
+
+  void CheckComparison(const Node& n, Op op, const Inf& a, const Inf& b) {
+    if (a.type == nullptr || b.type == nullptr) {
+      return;
+    }
+    TypeRef ta = a.type->kind() == TypeKind::kArray
+                     ? ctx_->types().PointerTo(PointeeOf(a.type))
+                     : a.type;
+    TypeRef tb = b.type->kind() == TypeKind::kArray
+                     ? ctx_->types().PointerTo(PointeeOf(b.type))
+                     : b.type;
+    if (ta->kind() == TypeKind::kPointer && tb->kind() == TypeKind::kPointer) {
+      if (ta->target()->kind() != TypeKind::kVoid &&
+          tb->target()->kind() != TypeKind::kVoid && !target::TypeEquals(ta, tb)) {
+        Error(n, "ptr-compare-incompatible",
+              StrPrintf("incompatible pointer comparison (%s and %s)",
+                        ta->ToString().c_str(), tb->ToString().c_str()),
+              "cast one operand so both sides point at the same type");
+      }
+      return;
+    }
+    if (ta->kind() == TypeKind::kPointer || tb->kind() == TypeKind::kPointer) {
+      return;  // pointer vs integer compares addresses at run time
+    }
+    if (!ta->IsArithmetic() || !tb->IsArithmetic()) {
+      Error(n, "invalid-operands",
+            StrPrintf("invalid operands to '%s' (%s and %s)", BinOpText(op),
+                      ta->ToString().c_str(), tb->ToString().c_str()));
+    }
+  }
+
+  // Walks a subtree the runtime only reaches conditionally; definite errors
+  // found inside demote to warnings (see Error above).
+  Inf WalkConditional(const Node& n) {
+    bool saved = conditional_;
+    conditional_ = true;
+    Inf r = Walk(n);
+    conditional_ = saved;
+    return r;
+  }
+
+  Inf Walk(const Node& n) {  // NOLINT(readability-function-size)
+    switch (n.op) {
+      // --- leaves ----------------------------------------------------------
+      case Op::kIntConst: {
+        Inf r;
+        r.type = n.is_unsigned ? ctx_->types().ULong()
+                 : n.is_long   ? ctx_->types().Long()
+                               : ctx_->types().Int();
+        r.lv = Lv::kNo;
+        return r;
+      }
+      case Op::kCharConst: {
+        Inf r;
+        r.type = ctx_->types().Char();
+        r.lv = Lv::kNo;
+        return r;
+      }
+      case Op::kFloatConst: {
+        Inf r;
+        r.type = ctx_->types().Double();
+        r.lv = Lv::kNo;
+        return r;
+      }
+      case Op::kStringConst: {
+        Inf r;
+        r.type = ctx_->types().PointerTo(ctx_->types().Char());
+        r.lv = Lv::kNo;
+        return r;
+      }
+      case Op::kName:
+        return InferName(n);
+      case Op::kUnderscore: {
+        if (scopes_.empty()) {
+          Error(n, "underscore-outside-with",
+                "'_' used outside of a with scope ('.', '->', '-->')");
+          return {};
+        }
+        const ScopeInfo& s = scopes_.back();
+        Inf r;
+        r.type = s.known ? s.subject : nullptr;
+        return r;
+      }
+      case Op::kFrames: {
+        Inf r;
+        r.many = true;  // one value per active frame
+        return r;
+      }
+
+      // --- generators ------------------------------------------------------
+      case Op::kTo:
+      case Op::kToOpen:
+      case Op::kToPrefix: {
+        Inf se;
+        for (const NodePtr& k : n.kids) {
+          Inf i = Walk(*k);
+          se.side_effects |= i.side_effects;
+        }
+        Inf r;
+        r.type = ctx_->types().Int();
+        r.lv = Lv::kNo;
+        r.many = true;
+        r.side_effects = se.side_effects;
+        return r;
+      }
+      case Op::kAlternate: {
+        Inf a = Walk(*n.kids[0]);
+        Inf b = Walk(*n.kids[1]);
+        Inf r;
+        if (a.type != nullptr && b.type != nullptr && target::TypeEquals(a.type, b.type)) {
+          r.type = a.type;
+        }
+        r.lv = a.lv == b.lv ? a.lv : Lv::kUnknown;
+        r.many = true;
+        r.side_effects = a.side_effects || b.side_effects;
+        return r;
+      }
+      case Op::kSequence: {
+        Inf a = Walk(*n.kids[0]);  // drained for its side effects
+        Inf b = Walk(*n.kids[1]);
+        Inf r = b;
+        r.side_effects = a.side_effects || b.side_effects;
+        return r;
+      }
+      case Op::kImply: {
+        Inf a = Walk(*n.kids[0]);
+        Inf b = Walk(*n.kids[1]);
+        Inf r = b;
+        r.many = a.many || b.many;
+        r.side_effects = a.side_effects || b.side_effects;
+        return r;
+      }
+      case Op::kIfGt:
+      case Op::kIfLt:
+      case Op::kIfGe:
+      case Op::kIfLe:
+      case Op::kIfEq:
+      case Op::kIfNe: {
+        Inf a = Walk(*n.kids[0]);
+        Inf b = WalkConditional(*n.kids[1]);  // runs only while the left yields
+        CheckComparison(n, FilterToComparison(n.op), a, b);
+        WarnSideEffectReEval(n, a, b);
+        Inf r = a;  // the filter passes its left operand through
+        r.many = a.many || b.many;
+        r.side_effects = a.side_effects || b.side_effects;
+        return r;
+      }
+      case Op::kSeqEq: {
+        Inf a = Walk(*n.kids[0]);
+        Inf b = Walk(*n.kids[1]);
+        CheckComparison(n, Op::kEq, a, b);
+        Inf r;
+        r.type = ctx_->types().Int();
+        r.lv = Lv::kNo;
+        r.side_effects = a.side_effects || b.side_effects;
+        return r;
+      }
+      case Op::kDiscard: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.side_effects = a.side_effects;
+        return r;
+      }
+      case Op::kDefine: {
+        if (ctx_->backend().GetTargetVariable(n.text).has_value() ||
+            ctx_->backend().GetTargetFunction(n.text).has_value()) {
+          Warn(n, "alias-shadows-target",
+               "alias '" + n.text + "' shadows the target symbol of the same name",
+               "pick a different alias name; the target '" + n.text +
+                   "' becomes unreachable while the alias exists");
+        }
+        return Walk(*n.kids[0]);
+      }
+      case Op::kIndexAlias:
+        return Walk(*n.kids[0]);
+
+      // --- scope operators -------------------------------------------------
+      case Op::kWith:
+      case Op::kArrowWith: {
+        Inf a = Walk(*n.kids[0]);
+        scopes_.push_back({a.type, a.type != nullptr});
+        Inf b = Walk(*n.kids[1]);
+        scopes_.pop_back();
+        Inf r = b;
+        r.many = a.many || b.many;
+        r.side_effects = a.side_effects || b.side_effects;
+        return r;
+      }
+      case Op::kDfs:
+      case Op::kBfs: {
+        Inf a = Walk(*n.kids[0]);
+        if (!ctx_->opts().cycle_detect) {
+          Warn(n, "unbounded-walk",
+               std::string("'") + (n.op == Op::kDfs ? "-->" : "-->>") +
+                   "' expansion with cycle detection off may not terminate on cyclic "
+                   "structures",
+               "turn cycle detection on, or bound the walk with '@' / '[[..n]]'");
+        }
+        scopes_.push_back({a.type, a.type != nullptr});
+        Inf b = Walk(*n.kids[1]);
+        scopes_.pop_back();
+        Inf r = b;
+        r.many = true;
+        r.side_effects = a.side_effects || b.side_effects;
+        return r;
+      }
+      case Op::kUntil: {
+        Inf a = Walk(*n.kids[0]);
+        if (UntilMatchMode(*n.kids[1])) {
+          return a;  // literal: compared against each value, no scope opens
+        }
+        WarnAssignInCondition(*n.kids[1]);
+        scopes_.push_back({a.type, a.type != nullptr});
+        Inf p = WalkConditional(*n.kids[1]);  // runs only while the left yields
+        scopes_.pop_back();
+        Inf r = a;
+        r.side_effects = a.side_effects || p.side_effects;
+        return r;
+      }
+      case Op::kSelect: {
+        Inf a = Walk(*n.kids[0]);
+        Inf b = Walk(*n.kids[1]);
+        Inf r = a;
+        r.many = true;
+        r.side_effects = a.side_effects || b.side_effects;
+        return r;
+      }
+
+      // --- reductions ------------------------------------------------------
+      case Op::kCount:
+      case Op::kAll:
+      case Op::kAny: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.type = ctx_->types().Int();
+        r.lv = Lv::kNo;
+        r.side_effects = a.side_effects;
+        return r;
+      }
+      case Op::kSum: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.lv = Lv::kNo;
+        r.side_effects = a.side_effects;
+        return r;
+      }
+
+      // --- control ---------------------------------------------------------
+      case Op::kIf: {
+        WarnAssignInCondition(*n.kids[0]);
+        Inf c = Walk(*n.kids[0]);
+        Inf t = WalkConditional(*n.kids[1]);
+        Inf e = n.kids.size() > 2 ? WalkConditional(*n.kids[2]) : Inf{};
+        Inf r;
+        if (n.kids.size() > 2 && t.type != nullptr && e.type != nullptr &&
+            target::TypeEquals(t.type, e.type)) {
+          r.type = t.type;
+        }
+        r.many = c.many || t.many || e.many;
+        r.side_effects = c.side_effects || t.side_effects || e.side_effects;
+        return r;
+      }
+      case Op::kCond: {
+        WarnAssignInCondition(*n.kids[0]);
+        Inf c = Walk(*n.kids[0]);
+        Inf t = WalkConditional(*n.kids[1]);
+        Inf e = WalkConditional(*n.kids[2]);
+        Inf r;
+        if (t.type != nullptr && e.type != nullptr && target::TypeEquals(t.type, e.type)) {
+          r.type = t.type;
+        }
+        r.many = c.many || t.many || e.many;
+        r.side_effects = c.side_effects || t.side_effects || e.side_effects;
+        return r;
+      }
+      case Op::kWhile: {
+        WarnAssignInCondition(*n.kids[0]);
+        Inf c = Walk(*n.kids[0]);
+        Inf b = WalkConditional(*n.kids[1]);
+        Inf r = b;
+        r.many = true;
+        r.side_effects = c.side_effects || b.side_effects;
+        return r;
+      }
+      case Op::kFor: {
+        Inf i = Walk(*n.kids[0]);
+        WarnAssignInCondition(*n.kids[1]);
+        Inf c = Walk(*n.kids[1]);
+        Inf s = WalkConditional(*n.kids[2]);
+        Inf b = WalkConditional(*n.kids[3]);
+        Inf r = b;
+        r.many = true;
+        r.side_effects =
+            i.side_effects || c.side_effects || s.side_effects || b.side_effects;
+        return r;
+      }
+
+      // --- calls, casts, declarations -------------------------------------
+      case Op::kCall: {
+        const Node& callee = *n.kids[0];
+        Inf r;
+        r.lv = Lv::kNo;
+        r.side_effects = true;  // a target call can mutate anything
+        for (size_t i = 1; i < n.kids.size(); ++i) {
+          Inf a = Walk(*n.kids[i]);
+          r.many |= a.many;
+        }
+        if (callee.op != Op::kName) {
+          Error(n, "call-non-function", "only direct calls of named functions are supported");
+          return r;
+        }
+        NoteName(callee.text, ctx_->aliases().Has(callee.text));
+        auto fn = ctx_->backend().GetTargetFunction(callee.text);
+        if (!fn.has_value()) {
+          // Both engines treat a zero-argument `frames()` with no target
+          // function of that name as the stack-frame generator builtin.
+          if (callee.text == "frames" && n.kids.size() == 1) {
+            r.many = true;
+            r.side_effects = false;  // reads frames, mutates nothing
+            return r;
+          }
+          Error(callee, "unknown-function", "unknown function '" + callee.text + "'");
+          return r;
+        }
+        if (fn->type != nullptr && fn->type->kind() == TypeKind::kFunction) {
+          size_t argc = n.kids.size() - 1;
+          size_t want = fn->type->params().size();
+          if (!fn->type->variadic() && argc != want) {
+            Error(n, "call-arity",
+                  StrPrintf("wrong number of arguments to '%s' (expected %zu, got %zu)",
+                            callee.text.c_str(), want, argc),
+                  "signature: " + fn->type->Declare(callee.text));
+          } else if (fn->type->variadic() && argc < want) {
+            Error(n, "call-arity",
+                  StrPrintf("too few arguments to '%s' (expected at least %zu, got %zu)",
+                            callee.text.c_str(), want, argc),
+                  "signature: " + fn->type->Declare(callee.text));
+          }
+          r.type = fn->type->return_type();
+        }
+        return r;
+      }
+      case Op::kCast: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.type = ResolveSpec(n);
+        r.lv = Lv::kNo;
+        r.many = a.many;
+        r.side_effects = a.side_effects;
+        return r;
+      }
+      case Op::kSizeofType: {
+        ResolveSpec(n);
+        Inf r;
+        r.type = ctx_->types().ULong();
+        r.lv = Lv::kNo;
+        return r;
+      }
+      case Op::kSizeofExpr: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.type = ctx_->types().ULong();
+        r.lv = Lv::kNo;
+        r.side_effects = a.side_effects;
+        return r;
+      }
+      case Op::kDecl: {
+        for (const DeclItem& item : n.decls) {
+          if (ctx_->backend().GetTargetVariable(item.name).has_value() ||
+              ctx_->backend().GetTargetFunction(item.name).has_value()) {
+            Warn(n, "alias-shadows-target",
+                 "alias '" + item.name + "' shadows the target symbol of the same name",
+                 "pick a different name; the target '" + item.name +
+                     "' becomes unreachable while the alias exists");
+          }
+          try {
+            TypeRef t = ctx_->ResolveTypeSpec(item.type, n.range);
+            if (t->size() == 0 || !t->complete()) {
+              Error(n, "incomplete-type", "cannot declare a variable of incomplete type");
+            }
+          } catch (const DuelError& e) {
+            Error(n, "unknown-type", e.what());
+          }
+        }
+        Inf r;
+        r.side_effects = true;  // allocates and aliases
+        return r;
+      }
+
+      // --- C unary operators ----------------------------------------------
+      case Op::kBrace:
+        return Walk(*n.kids[0]);
+      case Op::kDeref: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.lv = Lv::kYes;
+        r.side_effects = a.side_effects;
+        r.many = a.many;
+        if (a.type == nullptr) {
+          return r;
+        }
+        if (!IsPtrish(a.type)) {
+          Error(n, "deref-non-pointer", "'*' needs a pointer operand");
+          return r;
+        }
+        if (PointeeOf(a.type)->kind() == TypeKind::kVoid) {
+          Error(n, "deref-void-pointer", "cannot dereference void *",
+                "cast to a concrete pointer type first, e.g. (char *)");
+          return r;
+        }
+        r.type = PointeeOf(a.type);
+        return r;
+      }
+      case Op::kAddrOf: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.lv = Lv::kNo;
+        r.side_effects = a.side_effects;
+        r.many = a.many;
+        if (a.lv == Lv::kNo) {
+          Error(n, "addrof-rvalue", "'&' needs an lvalue");
+          return r;
+        }
+        if (a.type != nullptr) {
+          r.type = ctx_->types().PointerTo(a.type);
+        }
+        return r;
+      }
+      case Op::kNeg:
+      case Op::kPos: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.lv = Lv::kNo;
+        r.side_effects = a.side_effects;
+        r.many = a.many;
+        if (a.type != nullptr && !a.type->IsArithmetic()) {
+          Error(n, "unary-non-arithmetic",
+                StrPrintf("unary '%s' needs an arithmetic operand",
+                          n.op == Op::kNeg ? "-" : "+"));
+          return r;
+        }
+        r.type = a.type;
+        return r;
+      }
+      case Op::kBitNot: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.lv = Lv::kNo;
+        r.side_effects = a.side_effects;
+        r.many = a.many;
+        if (a.type != nullptr && !a.type->IsInteger() &&
+            a.type->kind() != TypeKind::kEnum) {
+          Error(n, "unary-non-integer", "'~' needs an integer operand");
+          return r;
+        }
+        r.type = a.type;
+        return r;
+      }
+      case Op::kNot: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.type = ctx_->types().Int();
+        r.lv = Lv::kNo;
+        r.side_effects = a.side_effects;
+        r.many = a.many;
+        return r;
+      }
+      case Op::kPreInc:
+      case Op::kPreDec:
+      case Op::kPostInc:
+      case Op::kPostDec: {
+        Inf a = Walk(*n.kids[0]);
+        Inf r;
+        r.lv = Lv::kNo;
+        r.side_effects = true;
+        r.many = a.many;
+        r.type = a.type;
+        if (a.lv == Lv::kNo) {
+          Error(n, "incdec-rvalue", "'++'/'--' need an lvalue");
+        }
+        return r;
+      }
+      case Op::kIndex: {
+        Inf a = Walk(*n.kids[0]);
+        Inf b = Walk(*n.kids[1]);
+        Inf r;
+        r.lv = Lv::kYes;
+        r.many = a.many || b.many;
+        r.side_effects = a.side_effects || b.side_effects;
+        if (a.type != nullptr && a.type->kind() == TypeKind::kArray) {
+          CheckArrayBounds(n, a.type);
+        }
+        // C's commutative subscripting: either side may be the pointer.
+        const TypeRef& base = a.type != nullptr && IsPtrish(a.type)   ? a.type
+                              : b.type != nullptr && IsPtrish(b.type) ? b.type
+                                                                      : a.type;
+        if (a.type != nullptr && b.type != nullptr && !IsPtrish(a.type) &&
+            !IsPtrish(b.type)) {
+          TypeRef shown = a.type;
+          Error(n, "index-non-pointer",
+                "subscript needs an array or pointer, got " + shown->ToString());
+          return r;
+        }
+        if (base != nullptr && IsPtrish(base)) {
+          r.type = PointeeOf(base);
+        }
+        return r;
+      }
+
+      // --- assignments -----------------------------------------------------
+      case Op::kAssign:
+      case Op::kMulEq:
+      case Op::kDivEq:
+      case Op::kModEq:
+      case Op::kAddEq:
+      case Op::kSubEq:
+      case Op::kShlEq:
+      case Op::kShrEq:
+      case Op::kAndEq:
+      case Op::kXorEq:
+      case Op::kOrEq: {
+        Inf a = Walk(*n.kids[0]);
+        Inf b = Walk(*n.kids[1]);
+        if (a.lv == Lv::kNo) {
+          Error(n, "assign-to-rvalue", "assignment requires an lvalue");
+        } else if (n.op != Op::kAssign) {
+          CheckArith(n, CompoundBase(n.op), a, b);
+        }
+        Inf r;
+        r.type = a.type;
+        r.lv = Lv::kNo;
+        r.many = a.many || b.many;
+        r.side_effects = true;
+        return r;
+      }
+
+      default:
+        break;
+    }
+
+    if (IsComparison(n.op)) {
+      Inf a = Walk(*n.kids[0]);
+      Inf b = Walk(*n.kids[1]);
+      CheckComparison(n, n.op, a, b);
+      WarnSideEffectReEval(n, a, b);
+      Inf r;
+      r.type = ctx_->types().Int();
+      r.lv = Lv::kNo;
+      r.many = a.many || b.many;
+      r.side_effects = a.side_effects || b.side_effects;
+      return r;
+    }
+    if (IsArithBinary(n.op)) {
+      Inf a = Walk(*n.kids[0]);
+      Inf b = Walk(*n.kids[1]);
+      WarnSideEffectReEval(n, a, b);
+      Inf r;
+      r.type = CheckArith(n, n.op, a, b);
+      r.lv = Lv::kNo;
+      r.many = a.many || b.many;
+      r.side_effects = a.side_effects || b.side_effects;
+      return r;
+    }
+    if (n.op == Op::kAndAnd || n.op == Op::kOrOr) {
+      Inf a = Walk(*n.kids[0]);
+      Inf b = WalkConditional(*n.kids[1]);  // short-circuit may skip the right side
+      Inf r;
+      r.type = ctx_->types().Int();
+      r.lv = Lv::kNo;
+      r.many = a.many || b.many;
+      r.side_effects = a.side_effects || b.side_effects;
+      return r;
+    }
+
+    // Unhandled shape: walk the kids for their diagnostics, claim nothing.
+    Inf r;
+    for (const NodePtr& k : n.kids) {
+      Inf i = Walk(*k);
+      r.side_effects |= i.side_effects;
+      r.many |= i.many;
+    }
+    return r;
+  }
+
+  EvalContext* ctx_;
+  const Annotations* notes_;
+  CheckResult* out_;
+  std::set<std::string> defined_;
+  std::set<std::string> noted_;
+  std::vector<ScopeInfo> scopes_;
+  bool conditional_ = false;  // inside a conditionally-evaluated subtree
+};
+
+}  // namespace
+
+size_t CheckResult::num_errors() const {
+  size_t n = 0;
+  for (const Diag& d : diags) {
+    n += d.severity == Severity::kError ? 1 : 0;
+  }
+  return n;
+}
+
+size_t CheckResult::num_warnings() const { return diags.size() - num_errors(); }
+
+DuelError CheckResult::FirstError() const {
+  for (const Diag& d : diags) {
+    if (d.severity == Severity::kError) {
+      ErrorKind kind = ErrorKind::kType;
+      if (d.rule == "unknown-name" || d.rule == "unknown-function" ||
+          d.rule == "underscore-outside-with") {
+        kind = ErrorKind::kName;
+      }
+      return DuelError(kind, d.message, d.span);
+    }
+  }
+  return DuelError(ErrorKind::kInternal, "FirstError with no errors");
+}
+
+CheckResult CheckQuery(EvalContext& ctx, const Node& root, const Annotations* notes) {
+  CheckResult out;
+  Checker checker(ctx, notes, out);
+  try {
+    checker.Run(root);
+  } catch (const DuelError&) {
+    // The checker is advisory scaffolding around evaluation: an unexpected
+    // throw must never take down a query that would have run. Partial
+    // diagnostics collected so far are kept.
+  }
+  return out;
+}
+
+}  // namespace duel

@@ -1,0 +1,58 @@
+#include "src/duel/diag.h"
+
+namespace duel {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+  }
+  return "?";
+}
+
+std::string CaretBlock(const std::string& query, SourceRange span) {
+  if (span.empty() || span.begin >= query.size()) {
+    return "";
+  }
+  size_t end = span.end < query.size() ? span.end : query.size();
+  // Queries are single-line; a span crossing a newline (scenario scripts)
+  // is clipped to the line holding its start.
+  size_t line_begin = query.rfind('\n', span.begin);
+  line_begin = line_begin == std::string::npos ? 0 : line_begin + 1;
+  size_t line_end = query.find('\n', span.begin);
+  line_end = line_end == std::string::npos ? query.size() : line_end;
+  if (end > line_end) {
+    end = line_end;
+  }
+  std::string out = "  " + query.substr(line_begin, line_end - line_begin) + "\n  ";
+  out += std::string(span.begin - line_begin, ' ');
+  out += '^';
+  if (end > span.begin + 1) {
+    out += std::string(end - span.begin - 1, '~');
+  }
+  return out;
+}
+
+std::vector<std::string> RenderDiag(const std::string& query, const Diag& d) {
+  std::vector<std::string> out;
+  out.push_back(std::string(SeverityName(d.severity)) + ": " + d.message + " [" + d.rule + "]");
+  std::string caret = CaretBlock(query, d.span);
+  if (!caret.empty()) {
+    size_t pos = 0;
+    while (pos <= caret.size()) {
+      size_t nl = caret.find('\n', pos);
+      if (nl == std::string::npos) {
+        out.push_back(caret.substr(pos));
+        break;
+      }
+      out.push_back(caret.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+  }
+  if (!d.fixit.empty()) {
+    out.push_back("  fix-it: " + d.fixit);
+  }
+  return out;
+}
+
+}  // namespace duel

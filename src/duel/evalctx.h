@@ -78,6 +78,16 @@ class EvalContext {
     access_.set_enabled(opts_.data_cache);
     access_.BeginQuery();
   }
+
+  // The data half of BeginQuery: re-syncs the cache toggle and drops cached
+  // data blocks, leaving the backend's client-side symbol caches intact.
+  // The session uses this when the symbol view was already refreshed at the
+  // top of the query (before the check stage), so the checker's lookups stay
+  // memoized into evaluation.
+  void BeginQueryData() {
+    access_.set_enabled(opts_.data_cache);
+    access_.BeginQueryData();
+  }
   const EvalOptions& opts() const { return opts_; }
   EvalOptions& opts() { return opts_; }
   AliasTable& aliases() { return aliases_; }

@@ -45,6 +45,16 @@ const std::vector<std::vector<BinOp>>& BinaryLevels() {
 constexpr int kRelationalLevel = 6;
 constexpr int kShiftLevel = 7;
 
+// Bottom-up pass growing every node's range over its kids, so an operator
+// node spans its whole subexpression (NewNode gives it only the operator
+// token). Diagnostics rely on this to underline operands, not just sigils.
+void WidenRanges(Node& n) {
+  for (const NodePtr& k : n.kids) {
+    WidenRanges(*k);
+    n.range = Cover(n.range, k->range);
+  }
+}
+
 }  // namespace
 
 Parser::Parser(std::string_view input, TypeNamePredicate is_type_name)
@@ -104,6 +114,7 @@ ParseResult Parser::Parse() {
   if (!At(Tok::kEnd)) {
     Fail(StrPrintf("unexpected '%s'", TokName(Cur().kind)));
   }
+  WidenRanges(*root);
   ParseResult r;
   r.root = std::move(root);
   r.num_nodes = next_id_;
@@ -267,6 +278,7 @@ NodePtr Parser::ParseAssign() {
     }
     NodePtr n = NewNode(Op::kDefine, r);
     n->text = left->text;
+    n->range = Cover(left->range, r);  // the name node is dropped; keep its span
     n->kids.push_back(std::move(right));
     return n;
   }
@@ -402,7 +414,7 @@ NodePtr Parser::ParseUnary() {
         if (AtTypeName()) {
           TypeSpec spec = ParseCastTypeName();
           Expect(Tok::kRParen);
-          NodePtr n = NewNode(Op::kSizeofType, r);
+          NodePtr n = NewNode(Op::kSizeofType, ExtendToPrev(r));
           n->type_spec = std::move(spec);
           return n;
         }
@@ -445,7 +457,7 @@ NodePtr Parser::ParsePostfix() {
         Advance();
         NodePtr idx = ParseAlternate();
         Expect(Tok::kRBracket);
-        NodePtr n = NewNode(Op::kIndex, r);
+        NodePtr n = NewNode(Op::kIndex, ExtendToPrev(r));
         n->kids.push_back(std::move(left));
         n->kids.push_back(std::move(idx));
         left = std::move(n);
@@ -456,7 +468,7 @@ NodePtr Parser::ParsePostfix() {
         NodePtr idx = ParseAlternate();
         Expect(Tok::kRBracket);  // ']]' is two ']' tokens (see lexer)
         Expect(Tok::kRBracket);
-        NodePtr n = NewNode(Op::kSelect, r);
+        NodePtr n = NewNode(Op::kSelect, ExtendToPrev(r));
         n->kids.push_back(std::move(left));
         n->kids.push_back(std::move(idx));
         left = std::move(n);
@@ -472,6 +484,7 @@ NodePtr Parser::ParsePostfix() {
           } while (Accept(Tok::kComma));
         }
         Expect(Tok::kRParen);
+        n->range = ExtendToPrev(r);
         left = std::move(n);
         break;
       }
@@ -519,6 +532,7 @@ NodePtr Parser::ParsePostfix() {
         NodePtr n = NewNode(Op::kIndexAlias, r);
         n->text = Cur().text;
         Advance();
+        n->range = ExtendToPrev(r);  // cover the alias name
         n->kids.push_back(std::move(left));
         left = std::move(n);
         break;
@@ -561,7 +575,7 @@ NodePtr Parser::ParseWithOperand() {
       Advance();
       NodePtr e = ParseSequence();
       Expect(Tok::kRBrace);
-      NodePtr n = NewNode(Op::kBrace, r);
+      NodePtr n = NewNode(Op::kBrace, ExtendToPrev(r));
       n->kids.push_back(std::move(e));
       return n;
     }
@@ -637,7 +651,7 @@ NodePtr Parser::ParsePrimary() {
       Advance();
       NodePtr e = ParseSequence();
       Expect(Tok::kRBrace);
-      NodePtr n = NewNode(Op::kBrace, r);
+      NodePtr n = NewNode(Op::kBrace, ExtendToPrev(r));
       n->kids.push_back(std::move(e));
       return n;
     }
@@ -795,6 +809,7 @@ NodePtr Parser::ParseDecl() {
     }
     n->decls.push_back(std::move(item));
   } while (Accept(Tok::kComma));
+  n->range = ExtendToPrev(r);
   return n;
 }
 

@@ -62,6 +62,15 @@ class Parser {
   NodePtr NewNode(Op op, SourceRange range);
   NodePtr NewNode(Op op) { return NewNode(op, Cur().range); }
 
+  // Extends `r` to the end of the last consumed token. Nodes whose extent is
+  // closed by punctuation that never becomes a kid (')', ']', a declarator,
+  // an alias name) use this right after consuming it, so diagnostics can
+  // underline the full construct; everything kid-shaped is handled by the
+  // WidenRanges pass at the end of Parse().
+  SourceRange ExtendToPrev(SourceRange r) const {
+    return Cover(r, tokens_[pos_ > 0 ? pos_ - 1 : 0].range);
+  }
+
   bool StartsExpr(Tok t) const;
   bool AtTypeName() const;       // current token begins a type-name
   bool AtDeclStart() const;      // current tokens begin a declaration

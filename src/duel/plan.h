@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/duel/check.h"
 #include "src/duel/parser.h"
 #include "src/duel/sema.h"
 #include "src/duel/token.h"
@@ -44,11 +45,19 @@ struct CompiledQuery {
   ParseResult parsed;  // owns the AST; parsed.num_nodes sizes the side table
   Annotations notes;
 
+  // The check stage's verdict (check.h), cached with the plan: a warm hit
+  // replays the diagnostics without re-running the inference walk. The
+  // verdict depends on the same compile-time world as `notes` — its names
+  // list is re-validated against the alias table by Session::PlanIsValid,
+  // and the symbol/mutation epochs below cover the target side.
+  CheckResult check;
+
   // Build-stage timings, replayed into QueryStats on cache hits as zero
   // (the stages did not run) but kept here for `plan` introspection.
   uint64_t lex_ns = 0;
   uint64_t parse_ns = 0;
   uint64_t sema_ns = 0;
+  uint64_t check_ns = 0;
 
   // Validity epochs (see header comment). alias_version and mutation_epoch
   // are refreshed after each successful run: a query's own aliases/allocs

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdlib>
 
+#include "src/duel/check.h"
 #include "src/duel/lexer.h"
 #include "src/duel/output.h"
 #include "src/duel/sema.h"
@@ -37,10 +38,12 @@ void FillProfile(const Node& n, int depth, const std::string& expr,
 }
 
 // The options that change what a compiled artifact contains: folded values
-// capture their symbolic text (sym_mode), and the analyze stage binds names
-// only under prebind. Everything else affects execution, not compilation.
+// capture their symbolic text (sym_mode), the analyze stage binds names only
+// under prebind, and the check stage's unbounded-walk warning depends on
+// cycle_detect. Everything else affects execution, not compilation.
 uint64_t PlanFingerprint(const EvalOptions& o) {
-  return (static_cast<uint64_t>(o.sym_mode) << 1) | (o.prebind ? 1u : 0u);
+  return (static_cast<uint64_t>(o.sym_mode) << 2) | (o.prebind ? 2u : 0u) |
+         (o.cycle_detect ? 1u : 0u);
 }
 
 // RAII: the context's annotation pointer must never outlive the execute
@@ -88,6 +91,16 @@ Session::Session(dbg::DebuggerBackend& backend, SessionOptions opts)
       opts_.plan_cache = true;
     }
   }
+  // Escape hatch / ablation: DUEL_CHECK=off evaluates every query without
+  // the static gate (verdicts are still computed and cached with the plan).
+  if (const char* env = std::getenv("DUEL_CHECK"); env != nullptr) {
+    std::string v(env);
+    if (v == "off" || v == "0" || v == "false") {
+      opts_.check = false;
+    } else if (v == "on" || v == "1") {
+      opts_.check = true;
+    }
+  }
 }
 
 void Session::Remember(const std::string& expr) {
@@ -128,7 +141,16 @@ std::unique_ptr<CompiledQuery> Session::BuildPlan(const std::string& expr, uint6
     obs::Span span(&tracer_, "sema");
     plan->notes = Analyze(ctx_, *plan->parsed.root, plan->parsed.num_nodes);
   }
-  plan->sema_ns = obs::NowNs() - t_sema;
+  const uint64_t t_check = obs::NowNs();
+  plan->sema_ns = t_check - t_sema;
+  {
+    // The check stage always runs at build time — the verdict is part of the
+    // compiled artifact (warm hits replay it for free); SessionOptions::check
+    // only decides whether DriveCore enforces it.
+    obs::Span span(&tracer_, "check");
+    plan->check = CheckQuery(ctx_, *plan->parsed.root, &plan->notes);
+  }
+  plan->check_ns = obs::NowNs() - t_check;
 
   plan->symbol_epoch = backend_->SymbolEpoch();
   plan->mutation_epoch = ctx_.access().mutation_epoch();
@@ -151,9 +173,61 @@ bool Session::PlanIsValid(CompiledQuery& plan) {
         return false;  // a session alias now shadows a prebound name
       }
     }
+    // The check verdict resolved these names through the alias table or the
+    // target symbols. An alias appearing over one changes resolution; one the
+    // verdict read may have been rebound or removed since (the version moved,
+    // and we cannot tell which alias did) — both void the verdict.
+    for (const auto& [name, was_aliased] : plan.check.names) {
+      if (was_aliased || ctx_.aliases().Has(name)) {
+        return false;
+      }
+    }
     plan.alias_version = ctx_.aliases().version();  // fast path for next time
   }
   return true;
+}
+
+CompiledQuery* Session::AcquirePlan(const std::string& expr,
+                                    std::unique_ptr<CompiledQuery>& uncached,
+                                    obs::QueryStats* stats) {
+  const uint64_t fingerprint = PlanFingerprint(opts_.eval);
+  const bool cache_on = opts_.plan_cache && plan_cache_.capacity() > 0;
+  CompiledQuery* plan = nullptr;
+  if (cache_on) {
+    PlanCacheCounters& pc = plan_cache_.counters();
+    pc.lookups++;
+    plan = plan_cache_.Find(expr, fingerprint);
+    if (plan != nullptr && !PlanIsValid(*plan)) {
+      plan_cache_.Erase(expr, fingerprint);
+      pc.invalidations++;
+      plan = nullptr;
+    }
+    if (plan != nullptr) {
+      pc.hits++;
+      plan->hits++;
+      if (stats != nullptr) {
+        stats->plan_hit = true;
+      }
+    } else {
+      pc.misses++;
+    }
+  }
+  if (plan == nullptr) {
+    std::unique_ptr<CompiledQuery> built = BuildPlan(expr, fingerprint);
+    if (stats != nullptr) {
+      stats->lex_ns = built->lex_ns;
+      stats->parse_ns = built->parse_ns;
+      stats->sema_ns = built->sema_ns;
+      stats->check_ns = built->check_ns;
+    }
+    if (cache_on) {
+      plan = plan_cache_.Insert(std::move(built));
+    } else {
+      uncached = std::move(built);
+      plan = uncached.get();
+    }
+  }
+  return plan;
 }
 
 uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
@@ -162,8 +236,11 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
   instr.set_tracer(&tracer_);
   instr.set_enabled(collect || tracer_.enabled());
   ctx_.set_profiler(nullptr);
-  // Fresh data-cache epoch: the target may have changed since the last query.
-  ctx_.BeginQuery();
+  // Fresh symbol/type/frame view for the front half (parse probes typedefs,
+  // the check stage resolves names). Purely a client-side cache drop — the
+  // full data-path epoch (ctx_.BeginQuery) starts only after the check gate
+  // passes, so rejected queries never touch target data.
+  backend_->BeginQueryEpoch();
 
   obs::QueryStats stats;
   std::array<uint64_t, obs::kNumNarrowCalls> calls_before{};
@@ -187,39 +264,34 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
   obs::Span query_span(&tracer_, "query", expr);
 
   // --- plan: reuse a cached CompiledQuery, or build one --------------------
-  const uint64_t fingerprint = PlanFingerprint(opts_.eval);
   const bool cache_on = opts_.plan_cache && plan_cache_.capacity() > 0;
-  CompiledQuery* plan = nullptr;
   std::unique_ptr<CompiledQuery> uncached;  // owns the plan when cache is off
-  if (cache_on) {
-    PlanCacheCounters& pc = plan_cache_.counters();
-    pc.lookups++;
-    plan = plan_cache_.Find(expr, fingerprint);
-    if (plan != nullptr && !PlanIsValid(*plan)) {
-      plan_cache_.Erase(expr, fingerprint);
-      pc.invalidations++;
-      plan = nullptr;
-    }
-    if (plan != nullptr) {
-      pc.hits++;
-      plan->hits++;
-      stats.plan_hit = true;
-    } else {
-      pc.misses++;
+  CompiledQuery* plan = AcquirePlan(expr, uncached, &stats);
+
+  // --- check gate: reject doomed queries before touching the target --------
+  stats.diags_errors = plan->check.num_errors();
+  stats.diags_warnings = plan->check.num_warnings();
+  if (result != nullptr) {
+    for (const Diag& d : plan->check.diags) {
+      if (d.severity == Severity::kError || opts_.warn != WarnMode::kOff) {
+        result->diags.push_back(d);
+      }
     }
   }
-  if (plan == nullptr) {
-    std::unique_ptr<CompiledQuery> built = BuildPlan(expr, fingerprint);
-    stats.lex_ns = built->lex_ns;
-    stats.parse_ns = built->parse_ns;
-    stats.sema_ns = built->sema_ns;
-    if (cache_on) {
-      plan = plan_cache_.Insert(std::move(built));
-    } else {
-      uncached = std::move(built);
-      plan = uncached.get();
+  if (opts_.check) {
+    if (plan->check.HasErrors()) {
+      throw plan->check.FirstError();
+    }
+    if (opts_.warn == WarnMode::kError && !plan->check.diags.empty()) {
+      const Diag& d = plan->check.diags.front();
+      throw DuelError(ErrorKind::kType, d.message + " [warnings are errors]", d.span);
     }
   }
+
+  // Fresh data-cache epoch (data half only: the backend's client-side symbol
+  // caches were already refreshed at the top of this query, and the checker's
+  // lookups stay memoized into evaluation).
+  ctx_.BeginQueryData();
 
   // --- execute: both engines consume the annotated AST ---------------------
   const Node& root = *plan->parsed.root;
@@ -316,6 +388,37 @@ QueryResult Session::Query(const std::string& expr) {
   } catch (const DuelError& e) {
     result.ok = false;
     result.error = FormatError(e);
+    result.error_span = e.range();
+    // Static and runtime errors alike point back into the query text: the
+    // message line stays intact (and grep-stable), the caret lines follow.
+    if (std::string caret = CaretBlock(expr, e.range()); !caret.empty()) {
+      result.error += '\n' + caret;
+    }
+  }
+  return result;
+}
+
+QueryResult Session::Check(const std::string& expr) {
+  QueryResult result;
+  ctx_.opts() = opts_.eval;
+  backend_->BeginQueryEpoch();  // fresh symbol view, no data-path epoch
+  try {
+    std::unique_ptr<CompiledQuery> uncached;
+    CompiledQuery* plan = AcquirePlan(expr, uncached, nullptr);
+    result.diags = plan->check.diags;
+    if (plan->check.HasErrors()) {
+      result.ok = false;
+      DuelError e = plan->check.FirstError();
+      result.error = FormatError(e);
+      result.error_span = e.range();
+    }
+  } catch (const DuelError& e) {  // lex / parse failures arrive as throws
+    result.ok = false;
+    result.error = FormatError(e);
+    result.error_span = e.range();
+    result.diags.push_back({Severity::kError,
+                            e.kind() == ErrorKind::kLex ? "lex" : "syntax",
+                            e.range(), e.what(), ""});
   }
   return result;
 }

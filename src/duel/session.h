@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "src/dbg/backend.h"
+#include "src/duel/check.h"
+#include "src/duel/diag.h"
 #include "src/duel/eval.h"
 #include "src/duel/evalctx.h"
 #include "src/duel/plan.h"
@@ -22,6 +24,14 @@
 #include "src/support/obs/trace.h"
 
 namespace duel {
+
+// What the session does with check-stage warnings. Errors always reject the
+// query; warnings default to being reported alongside the results.
+enum class WarnMode {
+  kOff,    // discard warnings
+  kOn,     // report warnings, evaluate anyway
+  kError,  // treat warnings as errors: reject the query
+};
 
 struct SessionOptions {
   EngineKind engine = EngineKind::kStateMachine;
@@ -35,6 +45,13 @@ struct SessionOptions {
   // disables it at construction (the CI ablation configuration).
   bool plan_cache = true;
   size_t plan_cache_capacity = 64;
+
+  // The check stage (check.h): static type inference + lint between analyze
+  // and execute. A query with a hard error is rejected before BeginQuery —
+  // no target data is ever touched for it. `DUEL_CHECK=off` disables the
+  // stage at construction (ablation/escape hatch).
+  bool check = true;
+  WarnMode warn = WarnMode::kOn;
 
   // Observability (see src/support/obs/): collect_stats assembles an
   // obs::QueryStats per query (phase timings, counter deltas, narrow-call
@@ -58,6 +75,14 @@ struct QueryResult {
   uint64_t value_count = 0;
   bool truncated = false;            // hit max_output_values
 
+  // Check-stage diagnostics for this query (errors when rejected, plus any
+  // warnings under WarnMode::kOn). Not part of Text() — the REPL and MI
+  // render them explicitly, so golden value output stays stable.
+  std::vector<Diag> diags;
+
+  // The failing subexpression's span when !ok (empty when unattributed).
+  SourceRange error_span;
+
   // Filled when SessionOptions::collect_stats (or ::profile) was on.
   std::optional<obs::QueryStats> stats;
 
@@ -71,6 +96,13 @@ class Session {
 
   // Evaluates one DUEL query, returning everything it printed.
   QueryResult Query(const std::string& expr);
+
+  // Runs only the front half of the pipeline (lex → parse → analyze →
+  // check) and returns the diagnostics without executing anything. The
+  // compiled plan is cached exactly as Query would cache it, so a
+  // subsequent Query of the same text is a warm hit. REPL `check <expr>`
+  // and MI -duel-check.
+  QueryResult Check(const std::string& expr);
 
   // Drives a query and discards output lines; returns the number of values
   // (used by benchmarks to avoid measuring string formatting).
@@ -108,6 +140,12 @@ class Session {
 
   // Builds a CompiledQuery for `expr` (the text-dependent half of the work).
   std::unique_ptr<CompiledQuery> BuildPlan(const std::string& expr, uint64_t fingerprint);
+
+  // Cache lookup (with validity check) or build+insert. When the cache is
+  // off, `uncached` keeps the plan alive for the caller. Fills build timings
+  // and the plan-hit flag into `stats` when non-null.
+  CompiledQuery* AcquirePlan(const std::string& expr, std::unique_ptr<CompiledQuery>& uncached,
+                             obs::QueryStats* stats);
 
   // Epoch checks for a cached plan (refreshes the alias fast path on pass).
   bool PlanIsValid(CompiledQuery& plan);

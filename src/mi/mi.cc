@@ -280,11 +280,53 @@ std::string MiSession::HandleCommand(const std::string& token, const std::string
     extra += "]";
     return done(extra);
   }
+  if (command == "-duel-check") {
+    std::string expr;
+    size_t i = 0;
+    if (!ParseCString(rest, &i, &expr)) {
+      expr = rest;  // tolerate an unquoted expression
+    }
+    if (expr.empty()) {
+      return error("-duel-check requires an expression");
+    }
+    QueryResult r = session_.Check(expr);
+    std::string extra = ",diags=[";
+    for (size_t k = 0; k < r.diags.size(); ++k) {
+      const Diag& d = r.diags[k];
+      if (k != 0) {
+        extra += ",";
+      }
+      extra += StrPrintf("{severity=\"%s\",rule=%s,begin=\"%zu\",end=\"%zu\",msg=%s",
+                         SeverityName(d.severity), MiQuote(d.rule).c_str(), d.span.begin,
+                         d.span.end, MiQuote(d.message).c_str());
+      if (!d.fixit.empty()) {
+        extra += ",fixit=" + MiQuote(d.fixit);
+      }
+      extra += "}";
+    }
+    extra += "]";
+    return done(extra);
+  }
+  if (command == "-duel-set-warn") {
+    if (rest == "on") {
+      session_.options().warn = WarnMode::kOn;
+      return done();
+    }
+    if (rest == "off") {
+      session_.options().warn = WarnMode::kOff;
+      return done();
+    }
+    if (rest == "error") {
+      session_.options().warn = WarnMode::kError;
+      return done();
+    }
+    return error("expected on|off|error");
+  }
   if (command == "-list-features") {
     return done(
         ",features=[\"duel-evaluate\",\"duel-set-engine\",\"duel-set-symbolic\","
         "\"duel-set-cache\",\"duel-clear-aliases\",\"duel-stats\",\"duel-trace\","
-        "\"duel-plan\",\"duel-set-plan-cache\"]");
+        "\"duel-plan\",\"duel-set-plan-cache\",\"duel-check\",\"duel-set-warn\"]");
   }
   return error("undefined MI command: " + command);
 }

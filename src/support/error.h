@@ -24,6 +24,18 @@ struct SourceRange {
   bool empty() const { return begin >= end; }
 };
 
+// The smallest range covering both operands (empty ranges are ignored, so a
+// synthesized node cannot drag a real span down to offset 0).
+inline SourceRange Cover(SourceRange a, SourceRange b) {
+  if (a.empty()) {
+    return b;
+  }
+  if (b.empty()) {
+    return a;
+  }
+  return {a.begin < b.begin ? a.begin : b.begin, a.end > b.end ? a.end : b.end};
+}
+
 enum class ErrorKind {
   kLex,      // malformed token
   kParse,    // syntax error
@@ -47,6 +59,16 @@ class DuelError : public std::runtime_error {
 
   ErrorKind kind() const { return kind_; }
   const SourceRange& range() const { return range_; }
+
+  // Late span attribution: the shared operator layer fills in the operator
+  // node's range when a helper below it (value conversion, store, memory
+  // access) threw without one. First writer wins — the innermost frame that
+  // knows a range is the most precise.
+  void set_range(SourceRange range) {
+    if (range_.empty()) {
+      range_ = range;
+    }
+  }
 
   // The symbolic value of the offending operand, e.g. "ptr[48]". Set by the
   // evaluator when it can attribute the fault to a subexpression.

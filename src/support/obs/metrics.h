@@ -157,8 +157,14 @@ struct QueryStats {
   uint64_t lex_ns = 0;
   uint64_t parse_ns = 0;
   uint64_t sema_ns = 0;
+  uint64_t check_ns = 0;
   uint64_t eval_ns = 0;
   uint64_t total_ns = 0;
+
+  // Check-stage diagnostics for this query (counts come from the plan's
+  // cached verdict, so they are reported on warm hits too).
+  uint64_t diags_errors = 0;
+  uint64_t diags_warnings = 0;
 
   // Plan-cache outcome for this query: whether a cached CompiledQuery was
   // reused, plus the session cache's counter delta.

@@ -89,6 +89,13 @@ void ExpectEnginesAgree(const std::string& expr) {
   const QueryResult& coro = r.coro;
   EXPECT_EQ(sm.ok, coro.ok) << expr << "\nsm: " << sm.error << "\ncoro: " << coro.error;
   EXPECT_EQ(sm.lines, coro.lines) << expr;
+  if (!sm.ok && !coro.ok) {
+    // Errors must match down to the failing subexpression's span: both
+    // engines attribute a fault through the same Apply* boundary.
+    EXPECT_EQ(sm.error, coro.error) << expr;
+    EXPECT_EQ(sm.error_span.begin, coro.error_span.begin) << expr;
+    EXPECT_EQ(sm.error_span.end, coro.error_span.end) << expr;
+  }
   ExpectSameCounters(sm, coro, expr);
   // The warm pass may differ from the cold one for stateful queries
   // (declarations, aliases), but the two engines must still agree line for

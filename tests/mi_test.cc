@@ -72,6 +72,31 @@ TEST_F(MiTest, ListFeatures) {
   EXPECT_NE(r.find("duel-evaluate"), std::string::npos);
   EXPECT_NE(r.find("duel-plan"), std::string::npos);
   EXPECT_NE(r.find("duel-set-plan-cache"), std::string::npos);
+  EXPECT_NE(r.find("duel-check"), std::string::npos);
+  EXPECT_NE(r.find("duel-set-warn"), std::string::npos);
+}
+
+TEST_F(MiTest, CheckEmitsDiagRecordsWithSpans) {
+  std::string r = mi_.Handle("-duel-check \"*x[0]\"");
+  EXPECT_EQ(r,
+            "^done,diags=[{severity=\"error\",rule=\"deref-non-pointer\","
+            "begin=\"0\",end=\"5\",msg=\"'*' needs a pointer operand\"}]\n(gdb)\n");
+  EXPECT_EQ(mi_.Handle("-duel-check \"x[..3]\""), "^done,diags=[]\n(gdb)\n");
+  // Warnings carry fix-its.
+  std::string w = mi_.Handle("-duel-check \"x[7]\"");
+  EXPECT_NE(w.find("severity=\"warning\",rule=\"array-bound\""), std::string::npos) << w;
+  EXPECT_NE(w.find("fixit=\"valid indices are 0..2\""), std::string::npos) << w;
+}
+
+TEST_F(MiTest, SetWarnGatesEvaluation) {
+  // Pin enforcement on regardless of the DUEL_CHECK ablation env.
+  mi_.session().options().check = true;
+  EXPECT_EQ(mi_.Handle("-duel-set-warn error"), "^done\n(gdb)\n");
+  std::string r = mi_.Handle("-duel-evaluate \"if (x[0] = 5) 1\"");
+  EXPECT_TRUE(r.rfind("^error", 0) == 0) << r;
+  EXPECT_EQ(mi_.Handle("-duel-set-warn off"), "^done\n(gdb)\n");
+  std::string ok = mi_.Handle("-duel-evaluate \"if (x[0] = 5) 1\"");
+  EXPECT_TRUE(ok.rfind("^done", 0) == 0) << ok;
 }
 
 TEST_F(MiTest, PlanIntrospection) {

@@ -10,9 +10,10 @@
 
 namespace {
 
-std::string RunRepl(const std::string& script, const std::string& args = "") {
+std::string RunRepl(const std::string& script, const std::string& args = "",
+                    const std::string& env = "") {
   std::string command =
-      "printf '" + script + "' | " + REPL_BINARY + " " + args + " 2>&1";
+      "printf '" + script + "' | " + env + " " + REPL_BINARY + " " + args + " 2>&1";
   FILE* pipe = popen(command.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   std::string out;
@@ -87,6 +88,43 @@ TEST(ReplE2ETest, ProgramSteppingWorkflow) {
 TEST(ReplE2ETest, UnknownCommandIsReported) {
   std::string out = RunRepl("frobnicate\\nquit\\n");
   EXPECT_NE(out.find("unknown command"), std::string::npos) << out;
+}
+
+TEST(ReplE2ETest, CheckCommandReportsDiagnosticsWithCaret) {
+  std::string out = RunRepl(
+      "check arr[..10] >? 0\\n"
+      "check *nosuch\\n"
+      "check arr[12]\\n"
+      "quit\\n");
+  EXPECT_NE(out.find("ok"), std::string::npos) << out;
+  EXPECT_NE(out.find("unknown name 'nosuch' [unknown-name]"), std::string::npos) << out;
+  EXPECT_NE(out.find("index 12 is past the end"), std::string::npos) << out;
+  EXPECT_NE(out.find("fix-it: valid indices are 0..9"), std::string::npos) << out;
+  EXPECT_NE(out.find('^'), std::string::npos) << out;
+}
+
+TEST(ReplE2ETest, WarnModesGateEvaluation) {
+  std::string out = RunRepl(
+      "duel if (arr[0] = 3) 99\\n"   // warn on (default): report + evaluate
+      "warn error\\n"
+      "duel if (arr[0] = 3) 99\\n"   // rejected
+      "warn off\\n"
+      "duel if (arr[0] = 3) 99\\n"   // silent
+      "quit\\n",
+      // Pin enforcement on regardless of the DUEL_CHECK ablation env.
+      "", "DUEL_CHECK=on");
+  EXPECT_NE(out.find("[assign-in-condition]"), std::string::npos) << out;
+  EXPECT_NE(out.find("did you mean '=='?"), std::string::npos) << out;
+  EXPECT_NE(out.find("warnings are errors"), std::string::npos) << out;
+  // The query evaluated under `warn on` and `warn off` but not `warn error`.
+  size_t first = out.find("99");
+  ASSERT_NE(first, std::string::npos) << out;
+  EXPECT_NE(out.find("99", first + 1), std::string::npos) << out;
+}
+
+TEST(ReplE2ETest, BatchCheckLintsScenarioQueries) {
+  std::string out = RunRepl("", std::string("--check ") + SCENARIO_FILE);
+  EXPECT_NE(out.find("5 queries checked, 0 errors, 0 warnings"), std::string::npos) << out;
 }
 
 }  // namespace
