@@ -1,0 +1,146 @@
+// E9 — concurrent query service scaling. A closed-loop load generator runs
+// 1/2/4/8 clients against one QueryService sharing a single TargetImage.
+// Each per-session backend is wrapped in LatencyBackend (a fixed per-call
+// delay modelling the wire round trip to a remote nub), so scaling comes
+// from I/O overlap — the effect the worker pool exists to exploit — rather
+// than from core count. Emits BENCH-style JSON: throughput plus end-to-end
+// latency percentiles per client count (DUEL_BENCH_METRICS overrides the
+// output path; empty disables).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/scenarios/scenarios.h"
+#include "src/serve/latency_backend.h"
+#include "src/serve/service.h"
+#include "src/support/obs/metrics.h"
+#include "src/support/strings.h"
+
+namespace duel::serve {
+namespace {
+
+// LatencyBackend stores only the address of `inner` in its constructor, so
+// passing the not-yet-constructed member is safe; this just bundles the two
+// into one factory-returnable object.
+class OwnedLatencySim final : public LatencyBackend {
+ public:
+  OwnedLatencySim(target::TargetImage& image, uint64_t per_call_us)
+      : LatencyBackend(sim_, per_call_us), sim_(image) {}
+
+ private:
+  dbg::SimBackend sim_;
+};
+
+constexpr uint64_t kPerCallUs = 20;        // simulated round-trip per narrow call
+constexpr int kRoundsPerClient = 200;      // queries each client issues back to back
+constexpr const char* kQuery = "#/(L-->next->value >? 0)";
+
+struct RunResult {
+  int clients = 0;
+  uint64_t wall_ns = 0;
+  uint64_t queries = 0;
+  obs::Histogram latency_ns;  // per-query, submit to completion
+};
+
+RunResult RunClosedLoop(target::TargetImage& image, int clients) {
+  ServeOptions opts;
+  opts.workers = 8;
+  QueryService service([&image] { return std::make_unique<OwnedLatencySim>(image, kPerCallUs); },
+                       opts);
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < clients; ++i) {
+    ids.push_back(service.OpenSession());
+  }
+
+  RunResult out;
+  out.clients = clients;
+  std::vector<obs::Histogram> per_client(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  uint64_t t0 = obs::NowNs();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&service, &per_client, id = ids[static_cast<size_t>(i)],
+                          i] {
+      for (int q = 0; q < kRoundsPerClient; ++q) {
+        uint64_t s = obs::NowNs();
+        QueryService::Outcome o = service.Eval(id, kQuery);
+        if (o.status != SubmitStatus::kAccepted || !o.result.ok) {
+          std::cerr << "bench query failed: " << o.result.error << "\n";
+          std::abort();
+        }
+        per_client[static_cast<size_t>(i)].Record(obs::NowNs() - s);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  out.wall_ns = obs::NowNs() - t0;
+  out.queries = static_cast<uint64_t>(clients) * kRoundsPerClient;
+  for (const obs::Histogram& h : per_client) {
+    out.latency_ns.MergeFrom(h);
+  }
+  service.Shutdown();
+  return out;
+}
+
+void Main() {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildIntArray(image, "arr", {3, -1, 4, 1, -5, 9, 2, 6, -5, 3});
+  scenarios::BuildList(image, "L", {11, 27, 33, 27, 8});
+
+  const char* env = std::getenv("DUEL_BENCH_METRICS");
+  std::string path = env != nullptr ? env : "bench_serve_metrics.json";
+
+  std::vector<RunResult> runs;
+  double base_qps = 0;
+  for (int clients : {1, 2, 4, 8}) {
+    RunResult r = RunClosedLoop(image, clients);
+    double qps = static_cast<double>(r.queries) * 1e9 / static_cast<double>(r.wall_ns);
+    if (clients == 1) {
+      base_qps = qps;
+    }
+    std::cout << StrPrintf("clients=%d queries=%llu wall_ms=%llu qps=%.0f speedup=%.2fx %s\n",
+                           clients, static_cast<unsigned long long>(r.queries),
+                           static_cast<unsigned long long>(r.wall_ns / 1'000'000), qps,
+                           base_qps > 0 ? qps / base_qps : 0.0, r.latency_ns.Summary().c_str());
+    runs.push_back(std::move(r));
+  }
+
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write metrics to " << path << "\n";
+    return;
+  }
+  out << "{\"bench\":\"serve\",\"per_call_us\":" << kPerCallUs
+      << ",\"rounds_per_client\":" << kRoundsPerClient << ",\"query\":\"" << kQuery
+      << "\",\"runs\":[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    double qps = static_cast<double>(r.queries) * 1e9 / static_cast<double>(r.wall_ns);
+    out << (i == 0 ? "\n" : ",\n")
+        << StrPrintf("{\"clients\":%d,\"queries\":%llu,\"wall_ns\":%llu,"
+                     "\"throughput_qps\":%.1f,\"latency_ns\":%s}",
+                     r.clients, static_cast<unsigned long long>(r.queries),
+                     static_cast<unsigned long long>(r.wall_ns), qps,
+                     r.latency_ns.ToJson().c_str());
+  }
+  out << "\n]}\n";
+  std::cerr << "wrote serve metrics to " << path << "\n";
+}
+
+}  // namespace
+}  // namespace duel::serve
+
+int main() {
+  duel::serve::Main();
+  return 0;
+}

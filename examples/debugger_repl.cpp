@@ -33,6 +33,7 @@
 #include "src/rsp/remote_backend.h"
 #include "src/rsp/server.h"
 #include "src/rsp/transport.h"
+#include "src/serve/service.h"
 #include "src/scenarios/scenario_file.h"
 #include "src/scenarios/scenarios.h"
 
@@ -117,6 +118,15 @@ void PrintHelp() {
       "  profile EXPR    evaluate EXPR with the per-AST-node profiler (heat view)\n"
       "  trace on|off    span tracing; 'trace dump [FILE]' prints spans or writes JSONL\n"
       "  packets on|off  RSP wire packet log; 'packets dump' prints it (remote mode)\n"
+      "  govern          show per-query governor limits; 'govern deadline MS',\n"
+      "                  'govern steps N', 'govern bytes N' set budgets (0 clears\n"
+      "                  one), 'govern off' clears all — a governed query that\n"
+      "                  trips a limit dies with a span-carrying diagnostic\n"
+      "  serve start [N] start the concurrent query service with N workers (default 4);\n"
+      "                  'serve open' opens a session, 'serve eval ID EXPR' evaluates,\n"
+      "                  'serve cancel ID [WHY]' trips a session's governor,\n"
+      "                  'serve close ID' closes, 'serve stats' prints counters,\n"
+      "                  'serve stop' shuts the service down\n"
       "  info            image and backend statistics\n"
       "  history         list past duel queries; !N or !! re-runs one\n"
       "  load FILE       load a scenario description file into the debuggee\n"
@@ -195,6 +205,10 @@ int main(int argc, char** argv) {
         break;
     }
   };
+
+  // The concurrent query service (`serve` commands): one shared image, many
+  // sessions, started on demand.
+  std::unique_ptr<serve::QueryService> service;
 
   bool use_remote = false;
   bool interactive = isatty(0);
@@ -572,6 +586,114 @@ int main(int argc, char** argv) {
             std::cout << "  " << v.type->Declare(v.name) << "\n";
           }
         }
+      }
+    } else if (cmd == "govern") {
+      GovernorLimits& lim = session.options().governor_limits;
+      std::istringstream gss(rest);
+      std::string what, value;
+      gss >> what >> value;
+      if (what.empty()) {
+        if (!lim.any()) {
+          std::cout << "governor: no limits set (queries run unbounded)\n";
+        } else {
+          std::cout << "governor: deadline=" << lim.deadline_ms << "ms steps=" << lim.max_steps
+                    << " bytes=" << lim.max_read_bytes
+                    << (session.options().governor ? "" : " (disabled: DUEL_GOVERNOR=off)")
+                    << "\n";
+        }
+      } else if (what == "off") {
+        lim = GovernorLimits{};
+        std::cout << "governor limits cleared\n";
+      } else if (what == "deadline" || what == "steps" || what == "bytes") {
+        uint64_t n = 0;
+        if (!ParseU64(value, &n)) {
+          std::cout << "usage: govern " << what << " N\n";
+        } else {
+          (what == "deadline" ? lim.deadline_ms
+                              : what == "steps" ? lim.max_steps : lim.max_read_bytes) = n;
+          std::cout << "governor " << what << " set to " << n << "\n";
+        }
+      } else {
+        std::cout << "usage: govern [deadline MS | steps N | bytes N | off]\n";
+      }
+    } else if (cmd == "serve") {
+      std::istringstream sss(rest);
+      std::string sub;
+      sss >> sub;
+      if (sub == "start") {
+        if (service != nullptr) {
+          std::cout << "service already running\n";
+        } else {
+          serve::ServeOptions sopts;
+          uint64_t n = 0;
+          std::string workers;
+          if (sss >> workers && ParseU64(workers, &n) && n > 0) {
+            sopts.workers = static_cast<size_t>(n);
+          }
+          service = std::make_unique<serve::QueryService>(
+              [&image] { return std::make_unique<dbg::SimBackend>(image); }, sopts);
+          mi_session.set_service(service.get());
+          std::cout << "query service started: " << sopts.workers << " workers, queue limit "
+                    << sopts.queue_limit << "\n";
+        }
+      } else if (service == nullptr) {
+        std::cout << "no service running (try 'serve start')\n";
+      } else if (sub == "open") {
+        std::cout << "session " << service->OpenSession() << " open\n";
+      } else if (sub == "eval") {
+        uint64_t id = 0;
+        std::string id_text;
+        if (!(sss >> id_text) || !ParseU64(id_text, &id)) {
+          std::cout << "usage: serve eval ID EXPR\n";
+        } else {
+          std::string expr;
+          std::getline(sss, expr);
+          while (!expr.empty() && expr.front() == ' ') {
+            expr.erase(expr.begin());
+          }
+          serve::QueryService::Outcome out = service->Eval(id, expr);
+          if (out.status != serve::SubmitStatus::kAccepted) {
+            std::cout << "serve: " << serve::SubmitStatusName(out.status) << "\n";
+          } else {
+            std::cout << out.result.Text();
+          }
+        }
+      } else if (sub == "cancel") {
+        uint64_t id = 0;
+        std::string id_text, reason;
+        sss >> id_text;
+        std::getline(sss, reason);
+        while (!reason.empty() && reason.front() == ' ') {
+          reason.erase(reason.begin());
+        }
+        if (!ParseU64(id_text, &id)) {
+          std::cout << "usage: serve cancel ID [REASON]\n";
+        } else {
+          std::cout << (service->Cancel(id, reason.empty() ? "cancelled by user" : reason)
+                            ? "cancel requested\n"
+                            : "no such session\n");
+        }
+      } else if (sub == "close") {
+        uint64_t id = 0;
+        std::string id_text;
+        sss >> id_text;
+        if (!ParseU64(id_text, &id)) {
+          std::cout << "usage: serve close ID\n";
+        } else {
+          std::cout << (service->CloseSession(id) ? "session closed\n" : "no such session\n");
+        }
+      } else if (sub == "stats" || sub.empty()) {
+        serve::ServeStats s = service->stats();
+        std::cout << s.Summary() << "\n"
+                  << "latency: " << s.latency_ns.Summary() << "\n"
+                  << "queued:  " << s.queue_ns.Summary() << "\n";
+      } else if (sub == "stop") {
+        mi_session.set_service(nullptr);
+        service.reset();  // Shutdown() in the destructor
+        std::cout << "query service stopped\n";
+      } else {
+        std::cout << "usage: serve start [N] | open | eval ID EXPR | cancel ID [WHY] |"
+                     " close ID | stats | stop\n";
       }
     } else if (cmd == "info") {
       std::cout << "globals: " << image.symbols().globals().size()

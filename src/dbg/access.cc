@@ -145,6 +145,9 @@ bool MemoryAccess::TryServe(Addr addr, void* out, size_t size) {
 }
 
 void MemoryAccess::GetBytes(Addr addr, void* out, size_t size) {
+  if (governor_ != nullptr) {
+    governor_->ChargeReadBytes(size);
+  }
   if (!enabled_ || size == 0) {
     backend_->GetTargetBytes(addr, out, size);
     return;
@@ -163,6 +166,9 @@ void MemoryAccess::GetBytes(Addr addr, void* out, size_t size) {
 }
 
 size_t MemoryAccess::GetBytesPrefix(Addr addr, void* out, size_t size) {
+  if (governor_ != nullptr) {
+    governor_->ChargeReadBytes(size);
+  }
   if (!enabled_) {
     return backend_->ReadTargetPrefix(addr, out, size);
   }

@@ -33,6 +33,7 @@
 
 #include "src/dbg/backend.h"
 #include "src/support/counters.h"
+#include "src/support/governor.h"
 
 namespace duel::dbg {
 
@@ -104,6 +105,24 @@ class MemoryAccess {
   // call/alloc may hold stale addresses and must be rebuilt.
   uint64_t mutation_epoch() const { return mutation_epoch_; }
 
+  // Records a mutation that happened *outside* this access layer — another
+  // session of the concurrent query service wrote target memory, called a
+  // target function, or allocated. Bumps the mutation epoch (invalidating
+  // cached plans the same way a local call/alloc would) and drops cached
+  // blocks. Must be called on the thread that owns this layer (the serve
+  // scheduler calls it before handing the session to a worker).
+  void NoteExternalMutation() {
+    ++mutation_epoch_;
+    Invalidate();
+  }
+
+  // Per-query execution governor (may be null). When attached and armed,
+  // every cached read charges its requested size against the target-read
+  // budget — cache hits included, so a governed query's byte accounting is
+  // identical whether the block cache is on or off.
+  void set_governor(ExecGovernor* g) { governor_ = g; }
+  ExecGovernor* governor() const { return governor_; }
+
  private:
   struct Block {
     std::vector<uint8_t> bytes;  // block_size long
@@ -122,6 +141,7 @@ class MemoryAccess {
 
   DebuggerBackend* backend_;
   Config config_;
+  ExecGovernor* governor_ = nullptr;
   bool enabled_ = true;
   std::map<uint64_t, Block> blocks_;  // block index -> contents
   uint64_t next_seq_block_ = UINT64_MAX;  // readahead: next block if sequential

@@ -18,6 +18,20 @@ namespace {
 
 using target::TypeKind;
 
+// Charges one evaluation step attributed to `n`, stamping the node's source
+// range onto any limit/cancel error so governor trips carry a span even
+// though EvalContext::Step itself only sees the dense node id. set_range is
+// first-writer-wins, so errors that already carry a more precise inner span
+// pass through unchanged.
+void Charge(EvalContext& ctx, const Node& n) {
+  try {
+    ctx.Step(n.id);
+  } catch (DuelError& e) {
+    e.set_range(n.range);
+    throw;
+  }
+}
+
 class CoroEngine final : public EvalEngine {
  public:
   explicit CoroEngine(EvalContext& ctx) : ctx_(&ctx) {}
@@ -28,7 +42,11 @@ class CoroEngine final : public EvalEngine {
   }
 
   std::optional<Value> Next() override {
-    ctx_->Step(root_ != nullptr ? root_->id : -1);
+    if (root_ != nullptr) {
+      Charge(*ctx_, *root_);
+    } else {
+      ctx_->Step(-1);
+    }
     std::optional<Value> v = gen_.Next();
     if (!v.has_value() && root_ != nullptr) {
       // The paper's restart rule: "After NOVALUE is returned, the next call
@@ -47,7 +65,7 @@ class CoroEngine final : public EvalEngine {
   // Pulling one value from an operand burns a step attributed to the
   // consuming node `n` (the resumption happens on its behalf).
   std::optional<Value> Pull(Generator<Value>& g, const Node& n) {
-    ctx_->Step(n.id);
+    Charge(*ctx_, n);
     return g.Next();
   }
 
@@ -156,7 +174,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
         while (auto v = Pull(g2, n)) {
           int64_t hi = ctx.ToI64(*v);
           for (int64_t i = lo; i <= hi; ++i) {
-            ctx.Step(n.id);
+            Charge(ctx, n);
             co_yield MakeIntValue(ctx, i);
           }
         }
@@ -168,7 +186,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       while (auto u = Pull(g, n)) {
         int64_t hi = ctx.ToI64(*u);
         for (int64_t i = 0; i < hi; ++i) {
-          ctx.Step(n.id);
+          Charge(ctx, n);
           co_yield MakeIntValue(ctx, i);
         }
       }
@@ -178,7 +196,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       auto g = Gen(*n.kids[0]);
       while (auto u = Pull(g, n)) {
         for (int64_t i = ctx.ToI64(*u);; ++i) {
-          ctx.Step(n.id);
+          Charge(ctx, n);
           co_yield MakeIntValue(ctx, i);
         }
       }
@@ -288,7 +306,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
           try {
             auto gp = Gen(*n.kids[1]);
             while (auto p = gp.Next()) {
-              ctx.Step(n.id);
+              Charge(ctx, n);
               if (ctx.Truthy(*p)) {
                 hit = true;
                 break;
@@ -487,7 +505,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
         for (;;) {
           std::optional<Value> v;
           try {
-            ctx.Step(n.id);
+            Charge(ctx, n);
             v = g2.Next();
           } catch (...) {
             ctx.scopes().Pop();
@@ -520,7 +538,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
           st.pending.push_back(*u);
         }
         while (!st.pending.empty()) {
-          ctx.Step(n.id);
+          Charge(ctx, n);
           Value x;
           if (bfs) {
             x = st.pending.front();
@@ -538,7 +556,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
           try {
             auto g2 = Gen(*n.kids[1]);
             while (auto w = g2.Next()) {
-              ctx.Step(n.id);
+              Charge(ctx, n);
               Value child = ComposeWithResult(ctx, x, true, *w);
               if (ExpandAdmit(ctx, st, child)) {
                 children.push_back(std::move(child));
@@ -584,7 +602,7 @@ Generator<Value> CoroEngine::Gen(const Node& n) {  // NOLINT(readability-functio
       }
       auto combos = ArgCombos(n, 1);
       while (auto args = combos.Next()) {
-        ctx.Step(n.id);
+        Charge(ctx, n);
         co_yield CallTarget(ctx, callee.text, *args, n.range);
       }
       break;

@@ -26,6 +26,20 @@ namespace {
 
 using target::TypeKind;
 
+// Charges one evaluation step attributed to `n`, stamping the node's source
+// range onto any limit/cancel error so governor trips carry a span even
+// though EvalContext::Step itself only sees the dense node id. set_range is
+// first-writer-wins, so errors that already carry a more precise inner span
+// pass through unchanged.
+void Charge(EvalContext& ctx, const Node& n) {
+  try {
+    ctx.Step(n.id);
+  } catch (DuelError& e) {
+    e.set_range(n.range);
+    throw;
+  }
+}
+
 class SmEngine final : public EvalEngine {
  public:
   explicit SmEngine(EvalContext& ctx) : ctx_(&ctx) {}
@@ -105,7 +119,7 @@ class SmEngine final : public EvalEngine {
 
 std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-function-size)
   EvalContext& ctx = *ctx_;
-  ctx.Step(n.id);
+  Charge(ctx, n);
   NodeState& st = StateOf(n);
 
   // A constant-folded subtree behaves exactly like a literal leaf: one value,
@@ -284,7 +298,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
           }
           default:
             if (st.i <= st.hi) {
-              ctx.Step(n.id);
+              Charge(ctx, n);
               return MakeIntValue(ctx, st.i++);
             }
             st.phase = 1;
@@ -304,7 +318,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
           st.phase = 1;
         }
         if (st.i <= st.hi) {
-          ctx.Step(n.id);
+          Charge(ctx, n);
           return MakeIntValue(ctx, st.i++);
         }
         st.phase = 0;
@@ -320,7 +334,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
           st.i = ctx.ToI64(*u);
           st.phase = 1;
         }
-        ctx.Step(n.id);
+        Charge(ctx, n);
         return MakeIntValue(ctx, st.i++);
       }
     }
@@ -521,7 +535,7 @@ std::optional<Value> SmEngine::Eval(const Node& n) {  // NOLINT(readability-func
         }
         ExpandState& ex = st.extra->expand;
         while (!ex.pending.empty()) {
-          ctx.Step(n.id);
+          Charge(ctx, n);
           Value x;
           if (bfs) {
             x = ex.pending.front();

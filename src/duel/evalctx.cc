@@ -12,6 +12,9 @@ void EvalContext::Step(int node_id) {
   if (profiler_ != nullptr) {
     profiler_->OnStep(node_id);
   }
+  if (governor_ != nullptr) {
+    governor_->ChargeStep();
+  }
   if (++counters_.eval_steps > opts_.max_steps) {
     throw DuelError(ErrorKind::kLimit,
                     StrPrintf("evaluation exceeded %llu steps (unbounded generator?)",

@@ -15,6 +15,7 @@
 #include "src/duel/scope.h"
 #include "src/duel/value.h"
 #include "src/support/counters.h"
+#include "src/support/governor.h"
 #include "src/support/obs/profile.h"
 
 namespace duel {
@@ -119,6 +120,13 @@ class EvalContext {
   void set_profiler(obs::NodeProfiler* p) { profiler_ = p; }
   obs::NodeProfiler* profiler() const { return profiler_; }
 
+  // Per-query execution governor (owned by the session / serve layer; may be
+  // null). When attached and armed, every Step is a cooperative checkpoint:
+  // a tripped deadline, step budget, or cancel request aborts the query with
+  // DuelError(kCancel). Attach to access() separately for the byte budget.
+  void set_governor(ExecGovernor* g) { governor_ = g; }
+  ExecGovernor* governor() const { return governor_; }
+
   // The analyze stage's side table for the tree currently being executed
   // (owned by the session's CompiledQuery; set for the duration of one
   // execute stage). Null when an engine is driven without a plan — the
@@ -184,6 +192,7 @@ class EvalContext {
   ScopeStack scopes_;
   EvalCounters counters_;
   obs::NodeProfiler* profiler_ = nullptr;
+  ExecGovernor* governor_ = nullptr;
   const Annotations* annotations_ = nullptr;
   std::map<std::string, std::optional<dbg::VariableInfo>> lookup_cache_;
 };

@@ -46,6 +46,29 @@ uint64_t PlanFingerprint(const EvalOptions& o) {
          (o.cycle_detect ? 1u : 0u);
 }
 
+// RAII: arms the session governor for one execute stage (when the session
+// option is on and any limit is set) and disarms on every exit path, so a
+// cancel that lands between queries cannot leak into the next one.
+class ScopedGovernor {
+ public:
+  ScopedGovernor(ExecGovernor& g, const GovernorLimits& limits, bool enabled)
+      : g_(enabled && limits.any() ? &g : nullptr) {
+    if (g_ != nullptr) {
+      g_->Arm(limits);
+    }
+  }
+  ~ScopedGovernor() {
+    if (g_ != nullptr) {
+      g_->Disarm();
+    }
+  }
+  ScopedGovernor(const ScopedGovernor&) = delete;
+  ScopedGovernor& operator=(const ScopedGovernor&) = delete;
+
+ private:
+  ExecGovernor* g_;
+};
+
 // RAII: the context's annotation pointer must never outlive the execute
 // stage that attached it (the plan may be evicted between queries).
 class ScopedAnnotations {
@@ -81,6 +104,10 @@ Session::Session(dbg::DebuggerBackend& backend, SessionOptions opts)
       opts_(opts),
       ctx_(backend, opts.eval),
       plan_cache_(opts.plan_cache_capacity) {
+  // The governor stays attached for the session's lifetime; it only costs
+  // anything while armed (DriveCore arms it per query when limits are set).
+  ctx_.set_governor(&governor_);
+  ctx_.access().set_governor(&governor_);
   // The CI ablation switch: DUEL_PLAN_CACHE=off runs every suite with the
   // staged pipeline rebuilt per query (mirroring the data-cache ablation).
   if (const char* env = std::getenv("DUEL_PLAN_CACHE"); env != nullptr) {
@@ -99,6 +126,17 @@ Session::Session(dbg::DebuggerBackend& backend, SessionOptions opts)
       opts_.check = false;
     } else if (v == "on" || v == "1") {
       opts_.check = true;
+    }
+  }
+  // Ablation / escape hatch: DUEL_GOVERNOR=off never arms the per-query
+  // governor, so queries run with deadlines/budgets/cancellation disabled
+  // (the serve suite pins the option back on where it tests the governor).
+  if (const char* env = std::getenv("DUEL_GOVERNOR"); env != nullptr) {
+    std::string v(env);
+    if (v == "off" || v == "0" || v == "false") {
+      opts_.governor = false;
+    } else if (v == "on" || v == "1") {
+      opts_.governor = true;
     }
   }
 }
@@ -294,6 +332,10 @@ uint64_t Session::DriveCore(const std::string& expr, QueryResult* result) {
   ctx_.BeginQueryData();
 
   // --- execute: both engines consume the annotated AST ---------------------
+  // The governor covers exactly the execute stage: compile-time work is
+  // bounded by the text, and a budget trip mid-run must not leave the
+  // governor armed for the next query.
+  ScopedGovernor scoped_governor(governor_, opts_.governor_limits, opts_.governor);
   const Node& root = *plan->parsed.root;
   ScopedAnnotations scoped_notes(ctx_, &plan->notes);
   std::unique_ptr<EvalEngine> engine = MakeEngine(opts_.engine, ctx_);
@@ -389,6 +431,7 @@ QueryResult Session::Query(const std::string& expr) {
     result.ok = false;
     result.error = FormatError(e);
     result.error_span = e.range();
+    result.error_kind = e.kind();
     // Static and runtime errors alike point back into the query text: the
     // message line stays intact (and grep-stable), the caret lines follow.
     if (std::string caret = CaretBlock(expr, e.range()); !caret.empty()) {
@@ -421,6 +464,21 @@ QueryResult Session::Check(const std::string& expr) {
                             e.range(), e.what(), ""});
   }
   return result;
+}
+
+const CompiledQuery* Session::Prepare(const std::string& expr) {
+  ctx_.opts() = opts_.eval;
+  backend_->BeginQueryEpoch();  // fresh symbol view, no data-path epoch
+  try {
+    std::unique_ptr<CompiledQuery> uncached;
+    CompiledQuery* plan = AcquirePlan(expr, uncached, nullptr);
+    if (uncached != nullptr) {
+      prepared_ = std::move(uncached);  // cache off: keep the plan alive
+    }
+    return plan;
+  } catch (const DuelError&) {
+    return nullptr;  // lex/parse failure; Query on the same text reproduces it
+  }
 }
 
 uint64_t Session::Drive(const std::string& expr) {

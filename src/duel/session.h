@@ -8,6 +8,7 @@
 #ifndef DUEL_DUEL_SESSION_H_
 #define DUEL_DUEL_SESSION_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "src/duel/evalctx.h"
 #include "src/duel/plan.h"
 #include "src/duel/value.h"
+#include "src/support/error.h"
 #include "src/support/obs/metrics.h"
 #include "src/support/obs/profile.h"
 #include "src/support/obs/trace.h"
@@ -53,6 +55,17 @@ struct SessionOptions {
   bool check = true;
   WarnMode warn = WarnMode::kOn;
 
+  // Per-query execution governor (support/governor.h): when `governor` is on
+  // and any limit is set, each query runs under a wall-clock deadline, an
+  // eval-step budget, and a target-bytes-read budget, and can be cancelled
+  // from another thread mid-flight (the serve layer's runaway protection;
+  // `govern` in the REPL). A trip aborts the query with a span-carrying
+  // kCancel diagnostic, keeping the values produced so far as partial
+  // results. `DUEL_GOVERNOR=off` disables arming at construction (the CI
+  // ablation configuration).
+  bool governor = true;
+  GovernorLimits governor_limits;
+
   // Observability (see src/support/obs/): collect_stats assembles an
   // obs::QueryStats per query (phase timings, counter deltas, narrow-call
   // latency histograms); profile additionally attributes every eval step to
@@ -83,6 +96,10 @@ struct QueryResult {
   // The failing subexpression's span when !ok (empty when unattributed).
   SourceRange error_span;
 
+  // The error's kind when !ok (kCancel distinguishes a governor trip from a
+  // genuine evaluation failure; the serve layer counts them separately).
+  std::optional<ErrorKind> error_kind;
+
   // Filled when SessionOptions::collect_stats (or ::profile) was on.
   std::optional<obs::QueryStats> stats;
 
@@ -103,6 +120,14 @@ class Session {
   // subsequent Query of the same text is a warm hit. REPL `check <expr>`
   // and MI -duel-check.
   QueryResult Check(const std::string& expr);
+
+  // Compiles `expr` (or reuses the cached plan) and returns the plan without
+  // executing — the compile-time half only, touching no target data. The
+  // serve layer classifies queries read-only vs mutating from the returned
+  // AST + check verdict before choosing a lock. Returns nullptr when the
+  // text fails to lex/parse (a following Query reproduces the error). The
+  // pointer stays valid until the next Prepare/Query/Check on this session.
+  const CompiledQuery* Prepare(const std::string& expr);
 
   // Drives a query and discards output lines; returns the number of values
   // (used by benchmarks to avoid measuring string formatting).
@@ -129,6 +154,11 @@ class Session {
   // MI). Entries survive until evicted, invalidated, or cleared.
   PlanCache& plan_cache() { return plan_cache_; }
 
+  // The session's execution governor. Armed per query from
+  // SessionOptions::governor_limits; `governor().Cancel(reason)` from any
+  // thread aborts the in-flight query at its next step checkpoint.
+  ExecGovernor& governor() { return governor_; }
+
  private:
   void Remember(const std::string& expr);
 
@@ -154,6 +184,8 @@ class Session {
   SessionOptions opts_;
   EvalContext ctx_;
   PlanCache plan_cache_;
+  ExecGovernor governor_;
+  std::unique_ptr<CompiledQuery> prepared_;  // keeps Prepare's plan alive, cache off
   std::vector<std::string> history_;
   obs::Tracer tracer_;
   obs::NodeProfiler profiler_;

@@ -47,7 +47,12 @@ class Debugger {
   // Empty condition = unconditional. Returns the breakpoint index.
   int AddBreakpoint(size_t line, std::string condition = "");
   void ClearBreakpoints() { breakpoints_.clear(); }
-  uint64_t BreakpointHits(int index) const { return breakpoints_[index].hits; }
+  // Index-taking accessors are total: an out-of-range (or negative) index
+  // reads as "never fired" instead of undefined behaviour — callers hold
+  // indices across Clear* calls.
+  uint64_t BreakpointHits(int index) const {
+    return InRange(index, breakpoints_.size()) ? breakpoints_[index].hits : 0;
+  }
 
   // --- watchpoints -----------------------------------------------------------
   // A DUEL expression re-evaluated after every statement; fires when its
@@ -55,13 +60,17 @@ class Debugger {
   // slice (`x[..100] >? 0`) or a whole structure (`L-->next->value`).
   int AddWatchpoint(std::string expr);
   void ClearWatchpoints() { watchpoints_.clear(); }
-  uint64_t WatchpointFires(int index) const { return watchpoints_[index].fires; }
+  uint64_t WatchpointFires(int index) const {
+    return InRange(index, watchpoints_.size()) ? watchpoints_[index].fires : 0;
+  }
 
   // Address watchpoints: raw byte ranges, checked by comparing target memory
   // after each statement — the "hardware watchpoint" baseline E10 compares
   // DUEL expression watchpoints against.
   int AddAddressWatch(target::Addr addr, size_t size);
-  uint64_t AddressWatchFires(int index) const { return addr_watches_[index].fires; }
+  uint64_t AddressWatchFires(int index) const {
+    return InRange(index, addr_watches_.size()) ? addr_watches_[index].fires : 0;
+  }
 
   // --- displays ---------------------------------------------------------------
   // Expressions re-evaluated and rendered at every stop (gdb's `display`).
@@ -73,7 +82,9 @@ class Debugger {
   // A DUEL assertion checked after every statement; execution stops when it
   // transitions from holding to violated (and can continue past it).
   int AddAssertion(std::string name, std::string expr);
-  uint64_t AssertionViolations(int index) const { return asserts_[index].violations; }
+  uint64_t AssertionViolations(int index) const {
+    return InRange(index, asserts_.size()) ? asserts_[index].violations : 0;
+  }
 
   // --- execution --------------------------------------------------------------
   // Executes one statement (after honouring breakpoints at the current pc).
@@ -132,6 +143,10 @@ class Debugger {
   Session session_;
   EvalContext exec_ctx_;  // the program's own variables (decl aliases) live here
   size_t pc_ = 0;
+  static bool InRange(int index, size_t size) {
+    return index >= 0 && static_cast<size_t>(index) < size;
+  }
+
   std::vector<Breakpoint> breakpoints_;
   std::vector<Watchpoint> watchpoints_;
   std::vector<TrackedAssertion> asserts_;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "src/serve/service.h"
 #include "src/support/strings.h"
 
 namespace duel::mi {
@@ -322,11 +323,40 @@ std::string MiSession::HandleCommand(const std::string& token, const std::string
     }
     return error("expected on|off|error");
   }
+  if (command == "-duel-serve-stats") {
+    if (service_ == nullptr) {
+      return error("no query service attached");
+    }
+    serve::ServeStats s = service_->stats();
+    std::string extra = StrPrintf(
+        ",serve={clients=\"%zu\",workers=\"%zu\",queue_depth=\"%zu\","
+        "in_flight=\"%zu\",submitted=\"%llu\",completed=\"%llu\",ok=\"%llu\","
+        "query_errors=\"%llu\",cancelled=\"%llu\",rejected_busy=\"%llu\","
+        "read_only=\"%llu\",mutating=\"%llu\",mutation_epoch=\"%llu\","
+        "latency_p50_ns=\"%llu\",latency_p99_ns=\"%llu\",queue_p50_ns=\"%llu\","
+        "queue_p99_ns=\"%llu\"}",
+        s.clients, s.workers, s.queue_depth, s.in_flight,
+        static_cast<unsigned long long>(s.submitted),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.ok),
+        static_cast<unsigned long long>(s.query_errors),
+        static_cast<unsigned long long>(s.cancelled),
+        static_cast<unsigned long long>(s.rejected_busy),
+        static_cast<unsigned long long>(s.read_only),
+        static_cast<unsigned long long>(s.mutating),
+        static_cast<unsigned long long>(s.mutation_epoch),
+        static_cast<unsigned long long>(s.latency_ns.Percentile(0.50)),
+        static_cast<unsigned long long>(s.latency_ns.Percentile(0.99)),
+        static_cast<unsigned long long>(s.queue_ns.Percentile(0.50)),
+        static_cast<unsigned long long>(s.queue_ns.Percentile(0.99)));
+    return done(extra);
+  }
   if (command == "-list-features") {
     return done(
         ",features=[\"duel-evaluate\",\"duel-set-engine\",\"duel-set-symbolic\","
         "\"duel-set-cache\",\"duel-clear-aliases\",\"duel-stats\",\"duel-trace\","
-        "\"duel-plan\",\"duel-set-plan-cache\",\"duel-check\",\"duel-set-warn\"]");
+        "\"duel-plan\",\"duel-set-plan-cache\",\"duel-check\",\"duel-set-warn\","
+        "\"duel-serve-stats\"]");
   }
   return error("undefined MI command: " + command);
 }

@@ -22,6 +22,10 @@
 
 #include "src/duel/session.h"
 
+namespace duel::serve {
+class QueryService;
+}
+
 namespace duel::mi {
 
 // Escapes a string as an MI c-string (quotes included).
@@ -38,11 +42,16 @@ class MiSession {
 
   Session& session() { return session_; }
 
+  // Attaches a concurrent query service for -duel-serve-stats (the front
+  // end owns it; null detaches).
+  void set_service(serve::QueryService* service) { service_ = service; }
+
  private:
   std::string HandleCommand(const std::string& token, const std::string& command,
                             const std::string& rest);
 
   Session session_;
+  serve::QueryService* service_ = nullptr;
 };
 
 }  // namespace duel::mi

@@ -40,9 +40,12 @@ struct WirePacket {
 class RspServer {
  public:
   explicit RspServer(dbg::DebuggerBackend& backend) : backend_(&backend) {}
+  virtual ~RspServer() = default;
 
-  // Handles one request payload, returning the response payload.
-  std::string Handle(const std::string& request);
+  // Handles one request payload, returning the response payload. Virtual so
+  // tests can model a misbehaving remote side (e.g. one that hangs and
+  // never answers, to exercise the transport's receive timeout).
+  virtual std::string Handle(const std::string& request);
 
   uint64_t requests_handled() const { return requests_; }
 

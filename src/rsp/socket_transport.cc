@@ -1,5 +1,6 @@
 #include "src/rsp/socket_transport.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,10 +13,13 @@ namespace duel::rsp {
 
 namespace {
 
+// MSG_NOSIGNAL: a peer that closed early (e.g. a client that timed out and
+// tore down the transport) must surface as EPIPE, not a process-killing
+// SIGPIPE from the server thread.
 void WriteAll(int fd, const void* data, size_t n) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
-    ssize_t written = ::write(fd, p, n);
+    ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
     if (written < 0) {
       if (errno == EINTR) {
         continue;
@@ -47,11 +51,15 @@ SocketTransport::SocketTransport(RspServer& server) {
         return;  // peer closed: shut down
       }
       rx.Feed(buf, static_cast<size_t>(n));
-      while (auto request = rx.NextPacket()) {
-        const char ack = '+';
-        WriteAll(server_fd_, &ack, 1);
-        std::string response = EncodePacket(server.Handle(*request));
-        WriteAll(server_fd_, response.data(), response.size());
+      try {
+        while (auto request = rx.NextPacket()) {
+          const char ack = '+';
+          WriteAll(server_fd_, &ack, 1);
+          std::string response = EncodePacket(server.Handle(*request));
+          WriteAll(server_fd_, response.data(), response.size());
+        }
+      } catch (const DuelError&) {
+        return;  // peer gone mid-response: nothing left to serve
       }
     }
   });
@@ -80,6 +88,28 @@ std::string SocketTransport::RoundTrip(const std::string& request) {
     if (auto response = client_rx_.NextPacket()) {
       bytes_on_wire_ += response->size();
       return *response;
+    }
+    if (receive_timeout_ms_ > 0) {
+      // A wedged or dead server must not block the client forever: wait for
+      // readable bytes with a deadline and fail the round trip cleanly.
+      struct pollfd pfd;
+      pfd.fd = client_fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, static_cast<int>(receive_timeout_ms_));
+      } while (ready < 0 && errno == EINTR);
+      if (ready < 0) {
+        throw DuelError(ErrorKind::kProtocol,
+                        StrPrintf("socket poll failed: %s", strerror(errno)));
+      }
+      if (ready == 0) {
+        throw DuelError(
+            ErrorKind::kProtocol,
+            StrPrintf("timed out after %llu ms waiting for the remote debugger",
+                      static_cast<unsigned long long>(receive_timeout_ms_)));
+      }
     }
     ssize_t n = ::read(client_fd_, buf, sizeof(buf));
     if (n <= 0) {

@@ -26,11 +26,21 @@ class SocketTransport final : public Transport {
 
   std::string RoundTrip(const std::string& request) override;
 
+  // How long RoundTrip waits for response bytes before giving up with a
+  // kProtocol error (0 = wait forever). A dead or wedged server thread must
+  // not block the client indefinitely mid-round-trip; after a timeout the
+  // stream may hold a late half-response, so the transport should be
+  // discarded rather than reused.
+  void set_receive_timeout_ms(uint64_t ms) { receive_timeout_ms_ = ms; }
+  uint64_t receive_timeout_ms() const { return receive_timeout_ms_; }
+  static constexpr uint64_t kDefaultReceiveTimeoutMs = 30'000;
+
  private:
   void ServeLoop();
 
   int client_fd_ = -1;
   int server_fd_ = -1;
+  uint64_t receive_timeout_ms_ = kDefaultReceiveTimeoutMs;
   std::thread server_thread_;
   PacketDecoder client_rx_;
 };

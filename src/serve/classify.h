@@ -1,0 +1,47 @@
+// Read/write classification of compiled queries.
+//
+// The concurrent query service runs read-only queries from different
+// sessions in parallel under a shared (reader) target lock; anything that
+// can mutate shared target state takes the writer lock and bumps the
+// service's mutation epoch. Classification must therefore be *sound in one
+// direction only*: a mutating query must never classify read-only (it would
+// race every concurrent reader), while classifying a read-only query as
+// mutating merely serialises it.
+//
+// Two independent sources feed the verdict, OR-ed together:
+//
+//   - the check stage's side-effect inference (CheckResult::has_side_effects,
+//     computed once per compiled plan and cached with it);
+//   - a conservative AST scan for the syntactic mutators: assignment in all
+//     its spellings, ++/--, target calls, and declarations (which allocate
+//     target space).
+//
+// The scan backstops the checker: CheckQuery swallows internal errors and
+// returns partial results, so its flag alone is not a safety guarantee.
+
+#ifndef DUEL_SERVE_CLASSIFY_H_
+#define DUEL_SERVE_CLASSIFY_H_
+
+#include "src/duel/ast.h"
+#include "src/duel/plan.h"
+
+namespace duel::serve {
+
+enum class QueryClass {
+  kReadOnly,  // touches no shared target state: runs under the reader lock
+  kMutating,  // may write/alloc/call into the target: takes the writer lock
+};
+
+const char* QueryClassName(QueryClass c);
+
+// The syntactic half: true when any node in the tree can mutate target
+// state. Session-local effects (alias definition via `:=`, `#`) do not
+// count — each session is single-threaded, so its alias table is private.
+bool AstMutatesTarget(const Node& n);
+
+// The full verdict for a compiled plan: checker inference OR AST scan.
+QueryClass Classify(const CompiledQuery& plan);
+
+}  // namespace duel::serve
+
+#endif  // DUEL_SERVE_CLASSIFY_H_

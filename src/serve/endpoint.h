@@ -1,0 +1,101 @@
+// The wire face of the concurrent query service.
+//
+// SocketEndpoint puts a QueryService behind real kernel byte streams: each
+// Connect() yields one socketpair connection served by its own thread (the
+// in-process analog of a thread-per-connection accept loop, matching
+// rsp::SocketTransport's discipline), speaking RSP-framed packets with a
+// qDuel* vocabulary:
+//
+//   qDuelOpen                        open a session      -> S<id>
+//   qDuelEval:<id>:<expr-hex>        evaluate            -> R<text-hex>   (ok)
+//                                                        |  Q<text-hex>   (query error)
+//                                                        |  B             (queue full: busy)
+//                                                        |  E00           (no such session)
+//                                                        |  E01           (shutting down)
+//   qDuelCancel:<id>:<reason-hex>    cancel in-flight    -> OK | E00
+//   qDuelClose:<id>                  close session       -> OK | E00
+//   qDuelStats                       service stats       -> T<json-hex>
+//
+// (numbers hex; unknown requests get the empty RSP response). The typed `B`
+// keeps admission control end-to-end: a full queue is distinguishable from
+// a failed query at the far end of the wire.
+//
+// The connection thread blocks inside QueryService::Eval while the worker
+// pool runs the query — N connections drive N concurrent requests. The
+// serve vocabulary is deliberately disjoint from the rsp debugger verbs:
+// this endpoint fronts whole queries, not narrow-interface calls, so the
+// service's locking never wraps raw backend access.
+
+#ifndef DUEL_SERVE_ENDPOINT_H_
+#define DUEL_SERVE_ENDPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/duel/session.h"
+#include "src/rsp/packet.h"
+#include "src/serve/service.h"
+
+namespace duel::serve {
+
+class SocketEndpoint {
+ public:
+  explicit SocketEndpoint(QueryService& service) : service_(&service) {}
+  ~SocketEndpoint();  // closes every connection and joins its thread
+
+  SocketEndpoint(const SocketEndpoint&) = delete;
+  SocketEndpoint& operator=(const SocketEndpoint&) = delete;
+
+  // Opens one connection; returns the client-side fd (caller owns it; speak
+  // RSP-framed qDuel* packets, or hand it to EndpointClient).
+  int Connect();
+
+  // Handles one request payload (exposed for direct tests of the verb
+  // parsing, without a socket in between).
+  std::string Handle(const std::string& request);
+
+ private:
+  void ConnectionLoop(int fd);
+
+  QueryService* service_;
+  std::mutex mu_;  // guards threads_ (Connect vs destructor)
+  std::vector<std::thread> threads_;
+  std::vector<int> server_fds_;
+};
+
+// A typed client over one endpoint connection fd (takes ownership).
+class EndpointClient {
+ public:
+  explicit EndpointClient(int fd) : fd_(fd) {}
+  ~EndpointClient();
+
+  EndpointClient(const EndpointClient&) = delete;
+  EndpointClient& operator=(const EndpointClient&) = delete;
+
+  // Opens a service session; returns its id (0 on protocol failure).
+  uint64_t Open();
+
+  struct EvalReply {
+    SubmitStatus status = SubmitStatus::kAccepted;
+    bool ok = false;      // meaningful when status == kAccepted
+    std::string text;     // the query's rendered output (or error text)
+  };
+  EvalReply Eval(uint64_t session, const std::string& expr);
+
+  bool Cancel(uint64_t session, const std::string& reason);
+  bool Close(uint64_t session);
+  std::string StatsJson();
+
+ private:
+  std::string RoundTrip(const std::string& request);
+
+  int fd_;
+  rsp::PacketDecoder rx_;
+};
+
+}  // namespace duel::serve
+
+#endif  // DUEL_SERVE_ENDPOINT_H_

@@ -1,0 +1,119 @@
+// A latency-injecting decorator over any DebuggerBackend.
+//
+// The serve benchmark's concurrency story is I/O overlap: against a remote
+// nub every narrow call is a wire round trip, and N sessions make progress
+// while one blocks. An in-process SimBackend answers in nanoseconds, which
+// would make worker-pool scaling unmeasurable on a small machine — so the
+// closed-loop load generator wraps each per-session backend in this
+// decorator, charging a fixed per-call delay that models the round trip.
+// Vectored reads charge one delay per *request* (that is the point of
+// qDuelReadV: many ranges, one round trip).
+//
+// Purely a test/bench utility; the service itself never injects latency.
+
+#ifndef DUEL_SERVE_LATENCY_BACKEND_H_
+#define DUEL_SERVE_LATENCY_BACKEND_H_
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/dbg/backend.h"
+
+namespace duel::serve {
+
+class LatencyBackend : public dbg::DebuggerBackend {
+ public:
+  // `inner` must outlive this decorator. `per_call_us` is the simulated
+  // round-trip time charged to every narrow call.
+  LatencyBackend(dbg::DebuggerBackend& inner, uint64_t per_call_us)
+      : inner_(&inner), per_call_us_(per_call_us) {}
+
+  void GetTargetBytes(target::Addr addr, void* out, size_t size) override {
+    Charge();
+    inner_->GetTargetBytes(addr, out, size);
+  }
+  void PutTargetBytes(target::Addr addr, const void* in, size_t size) override {
+    Charge();
+    inner_->PutTargetBytes(addr, in, size);
+  }
+  bool ValidTargetBytes(target::Addr addr, size_t size) override {
+    Charge();
+    return inner_->ValidTargetBytes(addr, size);
+  }
+  target::Addr AllocTargetSpace(size_t size, size_t align) override {
+    Charge();
+    return inner_->AllocTargetSpace(size, align);
+  }
+  size_t ReadTargetPrefix(target::Addr addr, void* out, size_t size) override {
+    Charge();
+    return inner_->ReadTargetPrefix(addr, out, size);
+  }
+  std::vector<std::vector<uint8_t>> ReadTargetRanges(
+      std::span<const dbg::ReadRange> ranges) override {
+    Charge();  // one round trip regardless of range count
+    return inner_->ReadTargetRanges(ranges);
+  }
+  void BeginQueryEpoch() override { inner_->BeginQueryEpoch(); }
+  uint64_t SymbolEpoch() override { return inner_->SymbolEpoch(); }
+  target::RawDatum CallTargetFunc(const std::string& name,
+                                  std::span<const target::RawDatum> args) override {
+    Charge();
+    return inner_->CallTargetFunc(name, args);
+  }
+  std::optional<dbg::VariableInfo> GetTargetVariable(const std::string& name) override {
+    Charge();
+    return inner_->GetTargetVariable(name);
+  }
+  std::optional<dbg::FunctionInfo> GetTargetFunction(const std::string& name) override {
+    Charge();
+    return inner_->GetTargetFunction(name);
+  }
+  target::TypeRef GetTargetTypedef(const std::string& name) override {
+    Charge();
+    return inner_->GetTargetTypedef(name);
+  }
+  target::TypeRef GetTargetStruct(const std::string& tag) override {
+    Charge();
+    return inner_->GetTargetStruct(tag);
+  }
+  target::TypeRef GetTargetUnion(const std::string& tag) override {
+    Charge();
+    return inner_->GetTargetUnion(tag);
+  }
+  target::TypeRef GetTargetEnum(const std::string& tag) override {
+    Charge();
+    return inner_->GetTargetEnum(tag);
+  }
+  std::optional<dbg::EnumeratorInfo> GetTargetEnumerator(const std::string& name) override {
+    Charge();
+    return inner_->GetTargetEnumerator(name);
+  }
+  size_t NumFrames() override {
+    Charge();
+    return inner_->NumFrames();
+  }
+  std::string FrameFunction(size_t frame) override {
+    Charge();
+    return inner_->FrameFunction(frame);
+  }
+  std::vector<dbg::FrameVariable> FrameLocals(size_t frame) override {
+    Charge();
+    return inner_->FrameLocals(frame);
+  }
+  target::TypeTable& Types() override { return inner_->Types(); }
+
+ private:
+  void Charge() {
+    if (per_call_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(per_call_us_));
+    }
+  }
+
+  dbg::DebuggerBackend* inner_;
+  uint64_t per_call_us_;
+};
+
+}  // namespace duel::serve
+
+#endif  // DUEL_SERVE_LATENCY_BACKEND_H_

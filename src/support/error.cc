@@ -18,6 +18,8 @@ const char* ErrorKindName(ErrorKind kind) {
       return "target error";
     case ErrorKind::kLimit:
       return "evaluation limit exceeded";
+    case ErrorKind::kCancel:
+      return "query cancelled";
     case ErrorKind::kProtocol:
       return "protocol error";
     case ErrorKind::kInternal:

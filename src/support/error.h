@@ -44,6 +44,7 @@ enum class ErrorKind {
   kMemory,   // illegal target memory reference
   kTarget,   // debugger/backend failure (call failed, bad frame, ...)
   kLimit,    // evaluation fuel / recursion limit exceeded
+  kCancel,   // governed query cancelled (deadline / budget / explicit cancel)
   kProtocol, // RSP / MI framing or protocol error
   kInternal, // invariant violation in this library
 };

@@ -1,0 +1,126 @@
+// Per-query execution governor: the cooperative resource-limit primitive
+// behind the concurrent query service (src/serve/).
+//
+// A multi-tenant debugger cannot let one runaway query (`L-->next` over a
+// cyclic list with cycle detection off, a `while(1)` expression, a scan of
+// gigabytes of target memory) starve every other session. The governor is
+// armed per query with a wall-clock deadline, an eval-step budget, and a
+// target-bytes-read budget; the evaluation hot paths check in cooperatively
+// (EvalContext::Step charges steps, dbg::MemoryAccess charges bytes) and
+// the query dies with a DuelError(ErrorKind::kCancel) — a span-carrying
+// diagnostic like any runtime error, with the values produced so far kept
+// as partial results — without disturbing any other session.
+//
+// Thread model: Arm/Disarm and the Charge* checkpoints run on the thread
+// executing the query; Cancel may be called from any thread (the service's
+// cancel path, an admission-control reaper). Only the cancel flag crosses
+// threads, so it is the only atomic.
+
+#ifndef DUEL_SUPPORT_GOVERNOR_H_
+#define DUEL_SUPPORT_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/support/error.h"
+
+namespace duel {
+
+// Per-query resource limits. Zero means "no limit" for each field; any()
+// says whether arming the governor would do anything at all.
+struct GovernorLimits {
+  uint64_t deadline_ms = 0;      // wall-clock budget for one query
+  uint64_t max_steps = 0;        // eval-step budget (generator resumptions)
+  uint64_t max_read_bytes = 0;   // target bytes read through the access layer
+
+  bool any() const { return deadline_ms != 0 || max_steps != 0 || max_read_bytes != 0; }
+};
+
+class ExecGovernor {
+ public:
+  // Arms the governor for one query: captures the limits, resets the usage
+  // counters and the cancel flag, and stamps the deadline from the steady
+  // clock. Runs on the executing thread before evaluation starts.
+  void Arm(const GovernorLimits& limits);
+
+  // Disarms after the query (armed() gates the checkpoints; a disarmed
+  // governor charges nothing).
+  void Disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  // Requests cancellation of the in-flight query. Safe from any thread; the
+  // executing thread observes it at its next step checkpoint. The first
+  // caller's reason wins and is quoted in the diagnostic.
+  void Cancel(const std::string& reason = "cancelled");
+
+  bool cancel_requested() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  // --- cooperative checkpoints (executing thread only) ----------------------
+
+  // One unit of evaluation fuel. Checks the cancel flag every call and the
+  // wall clock every kClockCheckInterval steps; throws DuelError(kCancel)
+  // when the step budget, the deadline, or a cancel request trips.
+  void ChargeStep() {
+    if (!armed_) {
+      return;
+    }
+    steps_++;
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      ThrowCancelled();
+    }
+    if (max_steps_ != 0 && steps_ > max_steps_) {
+      ThrowStepBudget();
+    }
+    if (deadline_ns_ != 0 && steps_ % kClockCheckInterval == 0) {
+      CheckDeadline();
+    }
+  }
+
+  // Charges `n` bytes of target-read traffic; throws DuelError(kCancel) when
+  // the byte budget trips. (Cancel/deadline are left to the step checkpoint —
+  // every read is followed by more steps, and reads are the expensive path
+  // already.)
+  void ChargeReadBytes(uint64_t n) {
+    if (!armed_) {
+      return;
+    }
+    read_bytes_ += n;
+    if (max_read_bytes_ != 0 && read_bytes_ > max_read_bytes_) {
+      ThrowByteBudget();
+    }
+  }
+
+  // Usage so far this arming (executing thread only; for stats surfaces).
+  uint64_t steps_used() const { return steps_; }
+  uint64_t read_bytes_used() const { return read_bytes_; }
+  const GovernorLimits& limits() const { return limits_; }
+
+  // How often ChargeStep consults the wall clock (a steady-clock read per
+  // step would dominate cheap steps; 1024 steps of slack is microseconds).
+  static constexpr uint64_t kClockCheckInterval = 1024;
+
+ private:
+  void CheckDeadline();
+  // Each trip has a deterministic message (budgets quote the configured
+  // limit, never elapsed usage) so a governed failure is byte-identical
+  // across runs — the serve suite asserts this.
+  [[noreturn]] void ThrowCancelled();
+  [[noreturn]] void ThrowStepBudget();
+  [[noreturn]] void ThrowByteBudget();
+  [[noreturn]] void ThrowDeadline();
+
+  bool armed_ = false;
+  GovernorLimits limits_;
+  uint64_t deadline_ns_ = 0;  // absolute steady-clock deadline (0 = none)
+  uint64_t max_steps_ = 0;
+  uint64_t max_read_bytes_ = 0;
+  uint64_t steps_ = 0;
+  uint64_t read_bytes_ = 0;
+  std::atomic<bool> cancelled_{false};
+  std::string cancel_reason_;
+};
+
+}  // namespace duel
+
+#endif  // DUEL_SUPPORT_GOVERNOR_H_

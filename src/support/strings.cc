@@ -138,6 +138,25 @@ bool ParseHexU64(std::string_view s, uint64_t* out) {
 
 std::string HexU64(uint64_t v) { return StrPrintf("%llx", static_cast<unsigned long long>(v)); }
 
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    uint64_t d = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) {
+      return false;
+    }
+    v = v * 10 + d;
+  }
+  *out = v;
+  return true;
+}
+
 std::string HexEncode(const void* data, size_t n) {
   static const char kDigits[] = "0123456789abcdef";
   const uint8_t* p = static_cast<const uint8_t*>(data);

@@ -33,6 +33,9 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 bool ParseHexU64(std::string_view s, uint64_t* out);
 std::string HexU64(uint64_t v);  // lowercase, no 0x prefix
 
+// Parses an unsigned decimal string. Returns false on bad input or overflow.
+bool ParseU64(std::string_view s, uint64_t* out);
+
 // Hex-encodes / decodes a byte buffer (lowercase). Decode returns false on
 // odd length or non-hex characters.
 std::string HexEncode(const void* data, size_t n);

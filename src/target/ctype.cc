@@ -220,6 +220,7 @@ const TypeRef& TypeTable::Basic(TypeKind k) const {
 }
 
 TypeRef TypeTable::PointerTo(const TypeRef& t) {
+  std::lock_guard<std::mutex> lock(derived_mu_);
   auto it = pointers_.find(t.get());
   if (it != pointers_.end()) {
     return it->second;
@@ -234,6 +235,7 @@ TypeRef TypeTable::PointerTo(const TypeRef& t) {
 }
 
 TypeRef TypeTable::ArrayOf(const TypeRef& elem, size_t count) {
+  std::lock_guard<std::mutex> lock(derived_mu_);
   auto key = std::make_pair(elem.get(), count);
   auto it = arrays_.find(key);
   if (it != arrays_.end()) {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -161,6 +162,11 @@ class TypeTable {
   const TypeRef& Basic(TypeKind k) const;
 
   // Derived types (interned: repeated calls return the identical object).
+  // These two are the only TypeTable mutations evaluation itself performs,
+  // so they are the only ones that are thread-safe: concurrent read-only
+  // queries of the serve layer intern pointer/array types while sharing one
+  // image under a reader lock. Everything else (Declare/Define/Complete)
+  // still requires external exclusion.
   TypeRef PointerTo(const TypeRef& t);
   TypeRef ArrayOf(const TypeRef& elem, size_t count);
   TypeRef Function(const TypeRef& ret, std::vector<Param> params, bool variadic);
@@ -189,6 +195,7 @@ class TypeTable {
 
  private:
   TypeRef basics_[15];
+  mutable std::mutex derived_mu_;  // guards the two runtime-interning maps
   std::map<const Type*, TypeRef> pointers_;
   std::map<std::pair<const Type*, size_t>, TypeRef> arrays_;
   std::map<std::string, TypeRef> structs_;

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <mutex>
+
 #include "src/rsp/packet.h"
 #include "src/target/ctype_io.h"
 #include "src/rsp/remote_backend.h"
@@ -232,6 +235,52 @@ TEST(SocketTransportTest, LargePayloadsCrossIntact) {
   sim.GetTargetBytes(base, local_bytes.data(), local_bytes.size());
   remote.GetTargetBytes(base, remote_bytes.data(), remote_bytes.size());
   EXPECT_EQ(local_bytes, remote_bytes);
+}
+
+// A server whose Handle never answers until released — the shape of a
+// remote side that wedged mid-round-trip. The receive timeout must turn the
+// indefinite block into a clean protocol error.
+class HungServer : public RspServer {
+ public:
+  explicit HungServer(dbg::DebuggerBackend& backend) : RspServer(backend) {}
+
+  std::string Handle(const std::string& request) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return released_; });
+    return RspServer::Handle(request);
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST(SocketTransportTest, ReceiveTimeoutFailsCleanlyWhenServerHangs) {
+  target::TargetImage image;
+  scenarios::BuildIntArray(image, "x", {1, 2, 3});
+  dbg::SimBackend sim(image);
+  HungServer server(sim);
+  SocketTransport transport(server);
+  transport.set_receive_timeout_ms(50);
+
+  try {
+    transport.RoundTrip("qValid:0,1");
+    FAIL() << "RoundTrip against a hung server must not block forever";
+  } catch (const DuelError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kProtocol);
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos) << e.what();
+  }
+  // Unwedge the server so the transport destructor can join its thread.
+  server.Release();
 }
 
 INSTANTIATE_TEST_SUITE_P(BothEngines, RemoteEndToEndTest,

@@ -1,0 +1,483 @@
+// The concurrent query service: scheduling, classification, governor,
+// admission control, endpoint wire protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/classify.h"
+#include "src/serve/endpoint.h"
+#include "src/serve/latency_backend.h"
+#include "src/serve/service.h"
+#include "tests/duel_test_util.h"
+
+namespace duel::serve {
+namespace {
+
+void BuildSharedDebuggee(target::TargetImage& image) {
+  target::InstallStandardFunctions(image);
+  scenarios::BuildIntArray(image, "arr", {3, -1, 4, 1, -5, 9, 2, 6, -5, 3});
+  scenarios::BuildList(image, "L", {11, 27, 33, 27, 8});
+  scenarios::BuildTree(image, "root", "(9 (3 (4) (5)) (12))");
+}
+
+QueryService::BackendFactory FactoryFor(target::TargetImage& image) {
+  return [&image] { return std::make_unique<dbg::SimBackend>(image); };
+}
+
+// Pins the governor on for one service session, overriding a possible
+// DUEL_GOVERNOR=off ablation environment (the pattern check_test.cc uses for
+// DUEL_CHECK): tests of the governor must behave identically in both CI
+// configurations.
+void PinGovernorOn(QueryService& service, uint64_t client) {
+  service.session(client)->options().governor = true;
+}
+
+// --- classification ----------------------------------------------------------
+
+TEST(ServeClassifyTest, ReadOnlyVsMutating) {
+  DuelFixture fx;
+  scenarios::BuildIntArray(fx.image(), "arr", {1, 2, 3});
+  scenarios::BuildList(fx.image(), "L", {4, 5});
+
+  auto classify = [&](const std::string& expr) {
+    const CompiledQuery* plan = fx.session().Prepare(expr);
+    EXPECT_NE(plan, nullptr) << expr;
+    return Classify(*plan);
+  };
+
+  // Pure reads run in parallel.
+  EXPECT_EQ(classify("arr[..3] >? 1"), QueryClass::kReadOnly);
+  EXPECT_EQ(classify("L-->next->value"), QueryClass::kReadOnly);
+  EXPECT_EQ(classify("#/(arr[..3])"), QueryClass::kReadOnly);
+  EXPECT_EQ(classify("sizeof(int)"), QueryClass::kReadOnly);
+
+  // Anything that can touch shared target state serialises.
+  EXPECT_EQ(classify("arr[0] = 9"), QueryClass::kMutating);
+  EXPECT_EQ(classify("arr[0] += 1"), QueryClass::kMutating);
+  EXPECT_EQ(classify("arr[0]++"), QueryClass::kMutating);
+  EXPECT_EQ(classify("--arr[1]"), QueryClass::kMutating);
+  EXPECT_EQ(classify("int t;"), QueryClass::kMutating);  // allocates target space
+  // Mutation buried in a conditionally-evaluated arm still counts.
+  EXPECT_EQ(classify("arr[0] > 0 ? arr[1] = 7 : 0"), QueryClass::kMutating);
+}
+
+// --- parity under concurrency ------------------------------------------------
+
+TEST(ServeTest, EightClientParityWithSerial) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  const std::vector<std::string> queries = {
+      "arr[..10] >? 0",
+      "L-->next->value",
+      "#/(L-->next)",
+      "root-->(left,right)->key",
+      "arr[..10] >? 3",
+      "+/(arr[..10])",
+  };
+
+  // Ground truth: one serial session over the same image.
+  std::vector<std::string> expected;
+  {
+    dbg::SimBackend serial_backend(image);
+    Session serial(serial_backend);
+    for (const std::string& q : queries) {
+      QueryResult r = serial.Query(q);
+      ASSERT_TRUE(r.ok) << q << ": " << r.error;
+      expected.push_back(r.Text());
+    }
+  }
+
+  ServeOptions opts;
+  opts.workers = 8;
+  QueryService service(FactoryFor(image), opts);
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 12;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kClients; ++i) {
+    ids.push_back(service.OpenSession());
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, id = ids[static_cast<size_t>(i)]] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          QueryService::Outcome out = service.Eval(id, queries[q]);
+          if (out.status != SubmitStatus::kAccepted || !out.result.ok ||
+              out.result.Text() != expected[q]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent read-only results must be byte-identical to serial";
+
+  ServeStats s = service.stats();
+  EXPECT_EQ(s.completed, static_cast<uint64_t>(kClients * kRounds * queries.size()));
+  EXPECT_EQ(s.completed, s.ok);
+  EXPECT_EQ(s.mutating, 0u);
+  EXPECT_EQ(s.rejected_busy, 0u);
+}
+
+// --- governor ---------------------------------------------------------------
+
+TEST(ServeGovernorTest, StepBudgetCancelIsDeterministic) {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildCyclicList(image, "C", {1, 2, 3, 4}, 1);
+
+  ServeOptions opts;
+  opts.session.eval.cycle_detect = false;  // make C-->next a true runaway
+  opts.governor_limits = GovernorLimits{/*deadline_ms=*/0, /*max_steps=*/50'000,
+                                        /*max_read_bytes=*/0};
+  QueryService service(FactoryFor(image), opts);
+  uint64_t id = service.OpenSession();
+  PinGovernorOn(service, id);
+
+  std::string first_error;
+  for (int run = 0; run < 3; ++run) {
+    QueryService::Outcome out = service.Eval(id, "C-->next->value");
+    ASSERT_EQ(out.status, SubmitStatus::kAccepted);
+    EXPECT_FALSE(out.result.ok);
+    ASSERT_TRUE(out.result.error_kind.has_value());
+    EXPECT_EQ(*out.result.error_kind, ErrorKind::kCancel);
+    EXPECT_NE(out.result.error.find("step budget"), std::string::npos) << out.result.error;
+    EXPECT_NE(out.result.error.find("50000"), std::string::npos)
+        << "diagnostic quotes the configured limit: " << out.result.error;
+    // Partial results: values produced before the trip are kept.
+    EXPECT_FALSE(out.result.lines.empty());
+    // Span-carrying: the diagnostic points back into the query text.
+    EXPECT_FALSE(out.result.error_span.empty());
+    if (run == 0) {
+      first_error = out.result.error;
+    } else {
+      EXPECT_EQ(out.result.error, first_error) << "same budget, same diagnostic, every run";
+    }
+  }
+  EXPECT_EQ(service.stats().cancelled, 3u);
+}
+
+TEST(ServeGovernorTest, ReadByteBudgetTrips) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  ServeOptions opts;
+  opts.governor_limits = GovernorLimits{0, 0, /*max_read_bytes=*/8};
+  QueryService service(FactoryFor(image), opts);
+  uint64_t id = service.OpenSession();
+  PinGovernorOn(service, id);
+
+  QueryService::Outcome out = service.Eval(id, "arr[..10]");
+  ASSERT_EQ(out.status, SubmitStatus::kAccepted);
+  EXPECT_FALSE(out.result.ok);
+  EXPECT_EQ(out.result.error_kind, ErrorKind::kCancel);
+  EXPECT_NE(out.result.error.find("target-read budget"), std::string::npos) << out.result.error;
+}
+
+TEST(ServeGovernorTest, DeadlineCancelsRunawayWhileOthersComplete) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+  scenarios::BuildCyclicList(image, "C", {1, 2, 3, 4}, 1);
+
+  ServeOptions opts;
+  opts.workers = 4;
+  opts.session.eval.cycle_detect = false;
+  opts.governor_limits = GovernorLimits{/*deadline_ms=*/150, /*max_steps=*/0,
+                                        /*max_read_bytes=*/0};
+  QueryService service(FactoryFor(image), opts);
+
+  uint64_t runaway = service.OpenSession();
+  PinGovernorOn(service, runaway);
+  uint64_t id_a = service.OpenSession();
+  uint64_t id_b = service.OpenSession();
+
+  std::promise<QueryResult> runaway_done;
+  std::future<QueryResult> runaway_future = runaway_done.get_future();
+  ASSERT_EQ(service.Submit(runaway, "C-->next->value",
+                           [&](QueryResult r) { runaway_done.set_value(std::move(r)); }),
+            SubmitStatus::kAccepted);
+
+  // While the runaway burns its deadline, other sessions keep being served.
+  for (int i = 0; i < 10; ++i) {
+    QueryService::Outcome a = service.Eval(id_a, "arr[..10] >? 0");
+    QueryService::Outcome b = service.Eval(id_b, "#/(L-->next)");
+    ASSERT_EQ(a.status, SubmitStatus::kAccepted);
+    ASSERT_EQ(b.status, SubmitStatus::kAccepted);
+    EXPECT_TRUE(a.result.ok) << a.result.error;
+    EXPECT_TRUE(b.result.ok) << b.result.error;
+  }
+
+  QueryResult r = runaway_future.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, ErrorKind::kCancel);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos) << r.error;
+  EXPECT_FALSE(r.error_span.empty());
+}
+
+TEST(ServeGovernorTest, ExplicitCancelFromAnotherThread) {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildCyclicList(image, "C", {1, 2, 3, 4}, 1);
+
+  ServeOptions opts;
+  opts.session.eval.cycle_detect = false;
+  // Armed (so Cancel can land) but roomy enough that only the explicit
+  // cancel can be what stops the query.
+  opts.governor_limits = GovernorLimits{0, /*max_steps=*/40'000'000, 0};
+  QueryService service(FactoryFor(image), opts);
+  uint64_t id = service.OpenSession();
+  PinGovernorOn(service, id);
+
+  std::promise<QueryResult> done;
+  std::future<QueryResult> future = done.get_future();
+  ASSERT_EQ(service.Submit(id, "C-->next->value",
+                           [&](QueryResult r) { done.set_value(std::move(r)); }),
+            SubmitStatus::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(service.Cancel(id, "operator stop"));
+
+  QueryResult r = future.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, ErrorKind::kCancel);
+  EXPECT_NE(r.error.find("operator stop"), std::string::npos) << r.error;
+}
+
+// --- admission control -------------------------------------------------------
+
+TEST(ServeTest, AdmissionControlRejectsBusyNeverDrops) {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildCyclicList(image, "C", {1, 2, 3, 4}, 1);
+
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.queue_limit = 2;
+  opts.session.eval.cycle_detect = false;
+  opts.governor_limits = GovernorLimits{0, /*max_steps=*/200'000, 0};
+  QueryService service(FactoryFor(image), opts);
+  uint64_t id = service.OpenSession();
+  PinGovernorOn(service, id);
+
+  constexpr int kSubmissions = 12;
+  std::atomic<int> callbacks{0};
+  int accepted = 0, busy = 0;
+  for (int i = 0; i < kSubmissions; ++i) {
+    SubmitStatus s = service.Submit(
+        id, "C-->next->value",
+        [&](QueryResult) { callbacks.fetch_add(1, std::memory_order_relaxed); });
+    if (s == SubmitStatus::kAccepted) {
+      accepted++;
+    } else {
+      ASSERT_EQ(s, SubmitStatus::kBusy) << "rejection must be the typed busy status";
+      busy++;
+    }
+  }
+  EXPECT_GT(busy, 0) << "queue_limit=2 with a slow worker must reject something";
+  EXPECT_GE(accepted, 1);
+
+  // Drain: every accepted request completes, none vanish.
+  while (callbacks.load(std::memory_order_relaxed) < accepted) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ServeStats s = service.stats();
+  EXPECT_EQ(s.submitted, static_cast<uint64_t>(accepted));
+  EXPECT_EQ(s.completed, static_cast<uint64_t>(accepted));
+  EXPECT_EQ(s.rejected_busy, static_cast<uint64_t>(busy));
+  EXPECT_EQ(callbacks.load(), accepted);
+}
+
+// --- cross-session consistency ----------------------------------------------
+
+TEST(ServeTest, MutationInOneSessionVisibleToOthers) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  QueryService service(FactoryFor(image));
+  uint64_t reader = service.OpenSession();
+  uint64_t writer = service.OpenSession();
+
+  QueryService::Outcome before = service.Eval(reader, "arr[0]");
+  ASSERT_EQ(before.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(before.result.ok) << before.result.error;
+  EXPECT_EQ(before.result.lines, (std::vector<std::string>{"arr[0] = 3"}));
+
+  QueryService::Outcome write = service.Eval(writer, "arr[0] = 99");
+  ASSERT_EQ(write.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(write.result.ok) << write.result.error;
+
+  // The reader's block cache and cached plan were epoch-invalidated: the
+  // next read observes the other session's write.
+  QueryService::Outcome after = service.Eval(reader, "arr[0]");
+  ASSERT_EQ(after.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(after.result.ok) << after.result.error;
+  EXPECT_EQ(after.result.lines, (std::vector<std::string>{"arr[0] = 99"}));
+
+  ServeStats s = service.stats();
+  EXPECT_EQ(s.mutating, 1u);
+  EXPECT_EQ(s.read_only, 2u);
+  EXPECT_EQ(s.mutation_epoch, 1u);
+}
+
+TEST(ServeTest, SessionsKeepPrivateAliases) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  QueryService service(FactoryFor(image));
+  uint64_t a = service.OpenSession();
+  uint64_t b = service.OpenSession();
+
+  ASSERT_TRUE(service.Eval(a, "v := 41").result.ok);
+  EXPECT_TRUE(service.Eval(a, "v + 1").result.ok);
+  // The alias is session-local: client b never sees it.
+  EXPECT_FALSE(service.Eval(b, "v + 1").result.ok);
+}
+
+TEST(ServeTest, CloseSessionDrainsAndSubmitAfterCloseFails) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  QueryService service(FactoryFor(image));
+  uint64_t id = service.OpenSession();
+  ASSERT_TRUE(service.Eval(id, "arr[0]").result.ok);
+  EXPECT_TRUE(service.CloseSession(id));
+  EXPECT_FALSE(service.CloseSession(id));
+  EXPECT_EQ(service.Submit(id, "arr[0]", [](QueryResult) {}), SubmitStatus::kNoSuchClient);
+}
+
+TEST(ServeTest, ShutdownFailsQueuedRequestsTyped) {
+  target::TargetImage image;
+  target::InstallStandardFunctions(image);
+  scenarios::BuildCyclicList(image, "C", {1, 2, 3}, 0);
+
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.session.eval.cycle_detect = false;
+  opts.governor_limits = GovernorLimits{/*deadline_ms=*/2000, 0, 0};
+  QueryService service(FactoryFor(image), opts);
+  uint64_t id = service.OpenSession();
+  PinGovernorOn(service, id);
+
+  // One slow query occupies the worker; the second sits in the queue.
+  std::promise<QueryResult> p1, p2;
+  std::future<QueryResult> f1 = p1.get_future(), f2 = p2.get_future();
+  ASSERT_EQ(service.Submit(id, "C-->next->value",
+                           [&](QueryResult r) { p1.set_value(std::move(r)); }),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(service.Submit(id, "arr[..10]",
+                           [&](QueryResult r) { p2.set_value(std::move(r)); }),
+            SubmitStatus::kAccepted);
+
+  service.Shutdown();
+  QueryResult r1 = f1.get();  // in-flight: cancelled by shutdown (or deadline)
+  QueryResult r2 = f2.get();  // queued: failed typed, never silently dropped
+  EXPECT_FALSE(r1.ok);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_EQ(r2.error_kind, ErrorKind::kCancel);
+  EXPECT_NE(r2.error.find("shutting down"), std::string::npos) << r2.error;
+  EXPECT_EQ(service.Submit(id, "arr[0]", [](QueryResult) {}), SubmitStatus::kShutdown);
+}
+
+// --- the wire endpoint -------------------------------------------------------
+
+TEST(ServeEndpointTest, OpenEvalCloseOverSocket) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  QueryService service(FactoryFor(image));
+  SocketEndpoint endpoint(service);
+  EndpointClient client(endpoint.Connect());
+
+  uint64_t id = client.Open();
+  ASSERT_NE(id, 0u);
+
+  EndpointClient::EvalReply reply = client.Eval(id, "arr[..10] >? 0");
+  EXPECT_EQ(reply.status, SubmitStatus::kAccepted);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_NE(reply.text.find("arr[2] = 4"), std::string::npos) << reply.text;
+
+  // A failing query still arrives as a typed, rendered result.
+  reply = client.Eval(id, "no_such_symbol");
+  EXPECT_EQ(reply.status, SubmitStatus::kAccepted);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_FALSE(reply.text.empty());
+
+  // Unknown session ids are the typed E00, not a query error.
+  reply = client.Eval(9999, "arr[0]");
+  EXPECT_EQ(reply.status, SubmitStatus::kNoSuchClient);
+
+  std::string json = client.StatsJson();
+  EXPECT_NE(json.find("\"clients\":1"), std::string::npos) << json;
+
+  EXPECT_TRUE(client.Close(id));
+  EXPECT_FALSE(client.Close(id));
+}
+
+TEST(ServeEndpointTest, ConcurrentConnectionsShareTheService) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  ServeOptions opts;
+  opts.workers = 4;
+  QueryService service(FactoryFor(image), opts);
+  SocketEndpoint endpoint(service);
+
+  constexpr int kConnections = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kConnections; ++i) {
+    threads.emplace_back([&] {
+      EndpointClient client(endpoint.Connect());
+      uint64_t id = client.Open();
+      if (id == 0) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < 8; ++q) {
+        EndpointClient::EvalReply reply = client.Eval(id, "#/(L-->next)");
+        if (reply.status != SubmitStatus::kAccepted || !reply.ok ||
+            reply.text != "5\n") {
+          failures.fetch_add(1);
+        }
+      }
+      client.Close(id);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --- the latency decorator (bench utility) -----------------------------------
+
+TEST(ServeTest, LatencyBackendPreservesSemantics) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  dbg::SimBackend inner(image);
+  LatencyBackend slow(inner, /*per_call_us=*/1);
+  Session session(slow);
+  QueryResult r = session.Query("arr[..10] >? 0");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.lines,
+            (std::vector<std::string>{"arr[0] = 3", "arr[2] = 4", "arr[3] = 1", "arr[5] = 9",
+                                      "arr[6] = 2", "arr[7] = 6", "arr[9] = 3"}));
+}
+
+}  // namespace
+}  // namespace duel::serve
