@@ -197,7 +197,15 @@ EndpointClient::EvalReply EndpointClient::Eval(uint64_t session, const std::stri
     reply.status = SubmitStatus::kShutdown;
     return reply;
   }
-  if (r.empty() || r == "E00" || r == "E03") {
+  if (r.empty() || r == "E03") {
+    // Unknown verb / malformed request: an encoding bug on this side, not a
+    // verdict about the session. Surface it as the protocol error it is
+    // rather than letting callers retry against a "missing" session.
+    throw DuelError(ErrorKind::kProtocol,
+                    r.empty() ? "query service did not recognize qDuelEval"
+                              : "query service rejected a malformed qDuelEval");
+  }
+  if (r == "E00") {
     reply.status = SubmitStatus::kNoSuchClient;
     return reply;
   }

@@ -83,6 +83,9 @@ class EndpointClient {
     bool ok = false;      // meaningful when status == kAccepted
     std::string text;     // the query's rendered output (or error text)
   };
+  // Throws DuelError(kProtocol) if the server answers with an empty reply or
+  // E03 — both mean this side sent something the server could not parse, not
+  // that the session is missing.
   EvalReply Eval(uint64_t session, const std::string& expr);
 
   bool Cancel(uint64_t session, const std::string& reason);

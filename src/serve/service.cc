@@ -98,11 +98,16 @@ bool QueryService::CloseSession(uint64_t client) {
   if (it == clients_.end()) {
     return false;
   }
-  Client* c = it->second.get();
-  c->closing = true;  // rejects new submissions; queued work still drains
-  idle_cv_.wait(lock, [c] { return c->queue.empty() && !c->running; });
-  clients_.erase(client);
-  return true;
+  it->second->closing = true;  // rejects new submissions; queued work still drains
+  // Re-look the client up by id on every wake: a concurrent CloseSession for
+  // the same id may erase it while we wait, and a captured Client* would then
+  // dangle. Not-found counts as drained.
+  idle_cv_.wait(lock, [this, client] {
+    auto i = clients_.find(client);
+    return i == clients_.end() ||
+           (i->second->queue.empty() && !i->second->running);
+  });
+  return clients_.erase(client) != 0;  // false: a duplicate close beat us to it
 }
 
 SubmitStatus QueryService::Submit(uint64_t client, std::string expr,
@@ -201,6 +206,11 @@ void QueryService::Shutdown() {
       }
     }
     queued_total_ = 0;
+    // The orphans below complete with kCancel without passing through a
+    // worker; account for them here so submitted == completed + queue_depth +
+    // in_flight still holds after shutdown.
+    completed_ += orphaned.size();
+    cancelled_ += orphaned.size();
     work_cv_.notify_all();
     idle_cv_.notify_all();
   }
@@ -257,8 +267,13 @@ void QueryService::SyncEpoch(Client& c) {
 }
 
 QueryResult QueryService::RunOne(Client& c, const std::string& expr, bool* was_mutating) {
-  SyncEpoch(c);
   std::shared_lock<std::shared_mutex> read_lock(target_mu_);
+  // Sync under the shared lock: a writer bumps mutation_epoch_ while still
+  // holding the exclusive lock, so once we hold the reader lock the epoch we
+  // load covers every write that could have preceded us. Syncing before
+  // acquisition would let a write that we blocked behind slip past the check
+  // and leave stale pre-mutation bytes in this session's caches.
+  SyncEpoch(c);
   // Compile (or warm-hit) under the reader lock: the front half resolves
   // names and types against shared tables. A plan that fails to lex/parse is
   // read-only — Query reproduces the error without touching target data.

@@ -22,19 +22,21 @@ void ExecGovernor::Arm(const GovernorLimits& limits) {
   steps_ = 0;
   read_bytes_ = 0;
   {
+    // Flag and reason must change together: if a racing Cancel lands between
+    // them, the flag could be cleared while its reason survives (or vice
+    // versa), and the stale reason would be reported by a later, unrelated
+    // trip via Cancel's first-writer-wins gate.
     std::lock_guard<std::mutex> lock(g_cancel_reason_mu);
     cancel_reason_.clear();
+    cancelled_.store(false, std::memory_order_relaxed);
   }
-  cancelled_.store(false, std::memory_order_relaxed);
   armed_ = true;
 }
 
 void ExecGovernor::Cancel(const std::string& reason) {
-  {
-    std::lock_guard<std::mutex> lock(g_cancel_reason_mu);
-    if (cancel_reason_.empty()) {
-      cancel_reason_ = reason;
-    }
+  std::lock_guard<std::mutex> lock(g_cancel_reason_mu);
+  if (cancel_reason_.empty()) {
+    cancel_reason_ = reason;
   }
   cancelled_.store(true, std::memory_order_release);
 }

@@ -359,6 +359,41 @@ TEST(ServeTest, CloseSessionDrainsAndSubmitAfterCloseFails) {
   EXPECT_EQ(service.Submit(id, "arr[0]", [](QueryResult) {}), SubmitStatus::kNoSuchClient);
 }
 
+TEST(ServeTest, ConcurrentDuplicateCloseIsSafe) {
+  target::TargetImage image;
+  BuildSharedDebuggee(image);
+
+  ServeOptions opts;
+  opts.workers = 2;
+  QueryService service(FactoryFor(image), opts);
+  uint64_t id = service.OpenSession();
+
+  // Keep the session draining while the closers race: every waiter must
+  // survive another closer erasing the client out from under it.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(service.Submit(id, "#/(L-->next)", [](QueryResult) {}),
+              SubmitStatus::kAccepted);
+  }
+
+  constexpr int kClosers = 4;
+  std::atomic<int> closed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClosers);
+  for (int i = 0; i < kClosers; ++i) {
+    threads.emplace_back([&] {
+      if (service.CloseSession(id)) {
+        closed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // Exactly one closer wins; the rest report the session already gone.
+  EXPECT_EQ(closed.load(), 1);
+  EXPECT_EQ(service.stats().clients, 0u);
+}
+
 TEST(ServeTest, ShutdownFailsQueuedRequestsTyped) {
   target::TargetImage image;
   target::InstallStandardFunctions(image);
@@ -390,6 +425,11 @@ TEST(ServeTest, ShutdownFailsQueuedRequestsTyped) {
   EXPECT_EQ(r2.error_kind, ErrorKind::kCancel);
   EXPECT_NE(r2.error.find("shutting down"), std::string::npos) << r2.error;
   EXPECT_EQ(service.Submit(id, "arr[0]", [](QueryResult) {}), SubmitStatus::kShutdown);
+  // Orphaned requests count as completed+cancelled, so the accounting
+  // invariant survives shutdown.
+  ServeStats s = service.stats();
+  EXPECT_EQ(s.submitted, s.completed + s.queue_depth + s.in_flight);
+  EXPECT_GE(s.cancelled, 1u);
 }
 
 // --- the wire endpoint -------------------------------------------------------
